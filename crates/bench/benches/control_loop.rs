@@ -1,0 +1,81 @@
+//! Criterion benchmarks over the control-plane path: the LP solver, the
+//! full procurement solve, one controller planning slot, and a simulated
+//! day — the hour-scale operations whose cost bounds how many markets and
+//! bids the global controller can consider online.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_cloud::{SpotTrace, DAY};
+use spotcache_core::controller::{ControllerConfig, GlobalController};
+use spotcache_core::simulation::{simulate, SimConfig};
+use spotcache_core::Approach;
+use spotcache_optimizer::simplex::{Constraint, LinearProgram};
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    // A representative mid-size LP (30 vars, 25 constraints).
+    let n = 30;
+    let mut lp = LinearProgram::minimize((0..n).map(|i| 1.0 + (i % 7) as f64).collect());
+    for i in 0..25 {
+        let coeffs: Vec<f64> = (0..n)
+            .map(|j| if (i + j) % 3 == 0 { 1.0 } else { 0.25 })
+            .collect();
+        lp = lp.subject_to(if i % 2 == 0 {
+            Constraint::ge(coeffs, 10.0 + i as f64)
+        } else {
+            Constraint::le(coeffs, 100.0 + i as f64)
+        });
+    }
+    g.bench_function("solve_30var_25cons", |b| {
+        b.iter(|| black_box(&lp).solve().unwrap())
+    });
+    g.finish();
+}
+
+fn bench_controller_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller");
+    g.sample_size(20);
+    let traces = paper_traces(30);
+    let refs: Vec<&SpotTrace> = traces.iter().collect();
+    for approach in [Approach::OdOnly, Approach::PropNoBackup] {
+        g.bench_with_input(
+            BenchmarkId::new("plan_slot", approach.name()),
+            &approach,
+            |b, &a| {
+                let mut ctl = GlobalController::new(ControllerConfig::paper_default(a));
+                // Warm the hot-fraction cache once: steady-state planning is
+                // what runs hourly.
+                let _ = ctl.plan(&refs, 10 * DAY, 1.2, 320_000.0, 60.0);
+                b.iter(|| {
+                    ctl.plan(black_box(&refs), 10 * DAY, 1.2, 320_000.0, 60.0)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_simulated_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    let traces = paper_traces(9);
+    g.bench_function("one_day_prop_nobackup", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper_default(Approach::PropNoBackup, 320_000.0, 60.0, 1.2);
+            cfg.days = 8;
+            cfg.training_days = 7;
+            simulate(black_box(&cfg), &traces).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simplex,
+    bench_controller_plan,
+    bench_simulated_day
+);
+criterion_main!(benches);

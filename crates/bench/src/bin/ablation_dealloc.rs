@@ -1,0 +1,57 @@
+//! Ablation: the deallocation damping `η` (DESIGN.md §5.3).
+//!
+//! Releasing memory is not free — evicted data may become popular again —
+//! so the paper adds `η·max(0, −Ñ)` to damp scale-downs. This sweep counts
+//! scale-down *thrash* (instances released across consecutive hours) and
+//! the cost of keeping them instead.
+
+use spotcache_bench::{heading, print_table};
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::simulation::{simulate, SimConfig, SimResult};
+use spotcache_core::Approach;
+
+/// Total instances released across consecutive hourly plans.
+fn scale_down_events(r: &SimResult) -> i64 {
+    let totals: Vec<i64> = r
+        .hours
+        .iter()
+        .map(|h| h.od_count as i64 + h.spot_counts.iter().map(|(_, c)| *c as i64).sum::<i64>())
+        .collect();
+    totals.windows(2).map(|w| (w[0] - w[1]).max(0)).sum()
+}
+
+fn main() {
+    let traces = paper_traces(90);
+
+    heading("Ablation: deallocation damping eta (Prop_NoBackup, 90 days)");
+
+    let base = {
+        let cfg = SimConfig::paper_default(Approach::OdOnly, 500_000.0, 100.0, 0.99);
+        simulate(&cfg, &traces).unwrap().total_cost()
+    };
+
+    let mut rows = Vec::new();
+    for eta in [0.0, 0.005, 0.01, 0.05, 0.2] {
+        let mut cfg = SimConfig::paper_default(Approach::PropNoBackup, 500_000.0, 100.0, 0.99);
+        cfg.controller.cost.dealloc = eta;
+        let r = simulate(&cfg, &traces).unwrap();
+        rows.push(vec![
+            format!("{eta}"),
+            format!("{:.3}", r.total_cost() / base),
+            scale_down_events(&r).to_string(),
+            format!("{:.1}%", 100.0 * r.violated_day_frac()),
+        ]);
+    }
+    print_table(
+        &[
+            "eta ($/release)",
+            "norm cost",
+            "instances released",
+            "viol days",
+        ],
+        &rows,
+    );
+    println!();
+    println!("expected: higher eta smooths the allocation (fewer releases, less eviction");
+    println!("churn) at a mild cost premium; eta = 0 tracks the diurnal curve tightly.");
+}

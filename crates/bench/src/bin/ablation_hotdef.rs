@@ -1,0 +1,63 @@
+//! Ablation: the hot-set definition (DESIGN.md §5.2).
+//!
+//! The paper calls "hot" the most popular subset accounting for 90% of
+//! accesses. Sweeping that mass threshold changes the hot-set size `H`,
+//! the amount of data the passive backup must replicate, and the mixing
+//! optimizer's degrees of freedom.
+
+use spotcache_bench::{dollars, heading, print_table};
+use spotcache_cloud::billing::CostCategory;
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_cloud::DAY;
+use spotcache_core::controller::{ControllerConfig, GlobalController};
+use spotcache_core::simulation::{simulate, SimConfig};
+use spotcache_core::Approach;
+
+fn main() {
+    let traces = paper_traces(90);
+
+    heading("Ablation: hot-set access-mass threshold (Prop, all markets, 90 days)");
+
+    let mut rows = Vec::new();
+    for hot_mass in [0.80, 0.90, 0.95, 0.99] {
+        // Report the resulting H for the reference working set.
+        let mut ctl_cfg = ControllerConfig::paper_default(Approach::Prop);
+        ctl_cfg.hot_mass = hot_mass;
+        let mut probe = GlobalController::new(ctl_cfg.clone());
+        let (h, f_h) = probe.hot_fraction(100.0, 0.99);
+        let _ = probe.plan(
+            &traces.iter().collect::<Vec<_>>(),
+            10 * DAY,
+            0.99,
+            500_000.0,
+            100.0,
+        );
+
+        let mut cfg = SimConfig::paper_default(Approach::Prop, 500_000.0, 100.0, 0.99);
+        cfg.controller.hot_mass = hot_mass;
+        let r = simulate(&cfg, &traces).unwrap();
+        rows.push(vec![
+            format!("{hot_mass}"),
+            format!("{:.4}", h),
+            format!("{:.3}", f_h),
+            dollars(r.ledger.total(CostCategory::Backup)),
+            dollars(r.total_cost()),
+            format!("{:.1}%", 100.0 * r.violated_day_frac()),
+        ]);
+    }
+    print_table(
+        &[
+            "mass threshold",
+            "H (frac of WSS)",
+            "F(H)",
+            "backup cost",
+            "total cost",
+            "viol days",
+        ],
+        &rows,
+    );
+    println!();
+    println!("expected: the hot set (and the backup bill) grows steeply with the threshold");
+    println!("at moderate skew; 0.9 keeps the replicated volume small while still covering");
+    println!("the traffic that matters during a revocation.");
+}

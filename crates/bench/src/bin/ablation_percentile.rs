@@ -1,0 +1,50 @@
+//! Ablation: the lifetime-prediction percentile (DESIGN.md §5.1).
+//!
+//! The paper predicts the 5th percentile of the residual-lifetime
+//! distribution. More aggressive percentiles promise longer lifetimes
+//! (cheaper plans, more failures); more conservative ones under-promise
+//! (fewer failures, more on-demand spend). This sweep quantifies the
+//! trade-off on the spiky `m4.XL-c` market.
+
+use spotcache_bench::{heading, pct, print_table};
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::simulation::{simulate, SimConfig};
+use spotcache_core::Approach;
+
+fn main() {
+    let traces = paper_traces(90);
+    let spiky: Vec<_> = traces
+        .iter()
+        .filter(|t| t.market.short_label() == "m4.XL-c")
+        .cloned()
+        .collect();
+
+    heading("Ablation: lifetime percentile (Prop_NoBackup, m4.XL-c, 90 days)");
+
+    let base = {
+        let cfg = SimConfig::paper_default(Approach::OdOnly, 500_000.0, 100.0, 2.0);
+        simulate(&cfg, &spiky).unwrap().total_cost()
+    };
+
+    let mut rows = Vec::new();
+    for percentile in [0.01, 0.05, 0.10, 0.25, 0.50] {
+        let mut cfg = SimConfig::paper_default(Approach::PropNoBackup, 500_000.0, 100.0, 2.0);
+        cfg.controller.lifetime_percentile = percentile;
+        let r = simulate(&cfg, &spiky).unwrap();
+        rows.push(vec![
+            format!("{percentile}"),
+            format!("{:.3}", r.total_cost() / base),
+            pct(r.violated_day_frac()),
+            r.revocations.to_string(),
+        ]);
+    }
+    print_table(
+        &["percentile", "norm cost", "violated days", "revocations"],
+        &rows,
+    );
+    println!();
+    println!("expected: an ultra-conservative percentile (0.01) predicts lifetimes so short");
+    println!("the optimizer barely touches spot (cost ~ ODOnly, no failures); aggressive");
+    println!("percentiles add failures without saving much more — the paper's 5th");
+    println!("percentile sits at the knee.");
+}

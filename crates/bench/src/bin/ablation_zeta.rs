@@ -1,0 +1,50 @@
+//! Ablation: the on-demand availability floor `ζ` (DESIGN.md §5.4).
+//!
+//! The formulation keeps at least a `ζ` fraction of the resident working
+//! set on on-demand instances so simultaneous bid failures cannot take the
+//! whole cache down. This sweep shows what the floor costs and what it
+//! buys.
+
+use spotcache_bench::{heading, pct, print_table};
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::simulation::{simulate, SimConfig};
+use spotcache_core::Approach;
+
+fn main() {
+    let traces = paper_traces(90);
+
+    heading("Ablation: availability floor zeta (Prop_NoBackup, 90 days)");
+
+    let base = {
+        let cfg = SimConfig::paper_default(Approach::OdOnly, 500_000.0, 100.0, 2.0);
+        simulate(&cfg, &traces).unwrap().total_cost()
+    };
+
+    let mut rows = Vec::new();
+    for zeta in [0.0, 0.05, 0.1, 0.3, 0.5] {
+        let mut cfg = SimConfig::paper_default(Approach::PropNoBackup, 500_000.0, 100.0, 2.0);
+        cfg.controller.cost.zeta = zeta;
+        let r = simulate(&cfg, &traces).unwrap();
+        // Worst single-hour affected fraction: the exposure the floor caps.
+        let worst = r
+            .hours
+            .iter()
+            .map(|h| h.affected_frac)
+            .fold(0.0f64, f64::max);
+        rows.push(vec![
+            format!("{zeta}"),
+            format!("{:.3}", r.total_cost() / base),
+            pct(r.violated_day_frac()),
+            format!("{worst:.3}"),
+        ]);
+    }
+    print_table(
+        &["zeta", "norm cost", "viol days", "worst-hour affected frac"],
+        &rows,
+    );
+    println!();
+    println!("expected: cost rises with zeta (more on-demand). In these four markets");
+    println!("simultaneous multi-market failures are rare, so the floor buys little");
+    println!("measured availability — consistent with the paper keeping zeta small; its");
+    println!("value is insurance against correlated failures the history cannot predict.");
+}

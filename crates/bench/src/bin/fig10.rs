@@ -1,0 +1,114 @@
+//! Regenerates paper **Figure 10**: the 24-hour prototype experiment on
+//! spot market `m4.L-d`, day 45 — instance allocation per bid and latency
+//! for `Prop_NoBackup` versus `OD+Spot_Sep` (impact of hot-cold mixing).
+
+use spotcache_bench::{heading, print_table};
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::controller::ControllerConfig;
+use spotcache_core::prototype::{run_prototype, PrototypeConfig};
+use spotcache_core::Approach;
+
+fn main() {
+    let market = paper_traces(90)
+        .into_iter()
+        .find(|t| t.market.short_label() == "m4.L-d")
+        .expect("m4.L-d");
+
+    heading("Figure 10: 24-hour prototype, m4.L-d day 45 (impact of hot-cold mixing)");
+    println!("workload: 320 kops peak, 60 GB, Zipf 2.0\n");
+
+    let mut results = Vec::new();
+    for approach in [Approach::PropNoBackup, Approach::OdSpotSep] {
+        let cfg = PrototypeConfig {
+            controller: ControllerConfig::paper_default(approach),
+            start_day: 45,
+            peak_rate: 320_000.0,
+            max_wss_gb: 60.0,
+            theta: 2.0,
+            seed: 0xF10,
+        };
+        let r = run_prototype(&cfg, &market).expect("prototype run");
+
+        heading(&format!("{approach}: hourly allocation (per bid)"));
+        let rows: Vec<Vec<String>> = r
+            .allocations
+            .iter()
+            .map(|a| {
+                let count_for = |suffix: &str| {
+                    a.spot_counts
+                        .iter()
+                        .filter(|(l, _)| l.ends_with(suffix))
+                        .map(|(_, c)| c)
+                        .sum::<u32>()
+                        .to_string()
+                };
+                vec![
+                    a.hour.to_string(),
+                    a.od_count.to_string(),
+                    count_for("@1d"),
+                    count_for("@5d"),
+                ]
+            })
+            .collect();
+        print_table(&["hour", "OD", "spot bid1 (1d)", "spot bid2 (5d)"], &rows);
+        results.push((approach, r));
+    }
+
+    heading("Summary");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(a, r)| {
+            let bid1_max = r
+                .allocations
+                .iter()
+                .map(|al| {
+                    al.spot_counts
+                        .iter()
+                        .filter(|(l, _)| l.ends_with("@1d"))
+                        .map(|(_, c)| *c)
+                        .sum::<u32>()
+                })
+                .max()
+                .unwrap_or(0);
+            let bid2_max = r
+                .allocations
+                .iter()
+                .map(|al| {
+                    al.spot_counts
+                        .iter()
+                        .filter(|(l, _)| l.ends_with("@5d"))
+                        .map(|(_, c)| *c)
+                        .sum::<u32>()
+                })
+                .max()
+                .unwrap_or(0);
+            vec![
+                a.to_string(),
+                r.failures.to_string(),
+                bid1_max.to_string(),
+                bid2_max.to_string(),
+                format!("{:.0}", r.overall.mean()),
+                format!("{:.0}", r.overall.quantile(0.95)),
+                format!("{:.0}", r.overall.quantile(0.99)),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "approach",
+            "bid failures",
+            "max bid1",
+            "max bid2",
+            "avg us",
+            "p95 us",
+            "p99 us",
+        ],
+        &rows,
+    );
+    println!();
+    println!("paper: both strategies hedge across bids so only a subset of spot instances");
+    println!("fails at a time; Prop_NoBackup allocates fewer instances under the lower bid");
+    println!("than the higher one, offers comparable average latency (occasionally worse");
+    println!("tail from its more aggressive resource usage), and costs 20-95% less than");
+    println!("OD+Spot_Sep (see fig12/fig13).");
+}

@@ -1,0 +1,64 @@
+//! Regenerates paper **Figure 12**: the long-term (90-day) cost breakdown —
+//! on-demand vs spot vs backup dollars — for every approach, at the paper's
+//! reference workload (500 kops peak, 100 GB working set), for Zipf 1.0 and
+//! 2.0, with all four spot markets available.
+
+use spotcache_bench::{dollars, heading, pct, print_table};
+use spotcache_cloud::billing::CostCategory;
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::simulation::{simulate, SimConfig};
+use spotcache_core::Approach;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let days = if quick { 30 } else { 90 };
+    let traces = paper_traces(days);
+
+    heading("Figure 12: long-term cost breakdown (500 kops, 100 GB)");
+
+    for theta in [1.0f64, 2.0] {
+        let zipf = if theta == 1.0 { 0.99 } else { theta };
+        heading(&format!("Zipf = {theta}"));
+        let od_only_total = {
+            let mut cfg = SimConfig::paper_default(Approach::OdOnly, 500_000.0, 100.0, zipf);
+            cfg.days = days;
+            simulate(&cfg, &traces).expect("ODOnly").total_cost()
+        };
+        let mut rows = Vec::new();
+        for approach in Approach::ALL {
+            let mut cfg = SimConfig::paper_default(approach, 500_000.0, 100.0, zipf);
+            cfg.days = days;
+            let r = simulate(&cfg, &traces).expect("simulation");
+            let od = r.ledger.total(CostCategory::OnDemand);
+            let spot = r.ledger.total(CostCategory::Spot);
+            let backup = r.ledger.total(CostCategory::Backup);
+            let total = r.total_cost();
+            let norm = format!("{:.2}", total / od_only_total);
+            rows.push(vec![
+                approach.to_string(),
+                dollars(od),
+                dollars(spot),
+                dollars(backup),
+                dollars(total),
+                norm,
+                pct(r.violated_day_frac()),
+            ]);
+        }
+        print_table(
+            &[
+                "approach",
+                "on-demand",
+                "spot",
+                "backup",
+                "total",
+                "norm (/ODOnly)",
+                "viol days",
+            ],
+            &rows,
+        );
+    }
+    println!();
+    println!("paper: Prop_NoBackup/Prop save 50-80% vs ODOnly; the backup's cost share is");
+    println!("visible at Zipf 1.0 and negligible at Zipf 2.0; OD+Spot_Sep wastes resources");
+    println!("at high skew (hot set tiny but needs all the CPU/network).");
+}

@@ -1,0 +1,69 @@
+//! Regenerates paper **Figure 13**: normalized long-term costs across the
+//! full 18-workload grid — peak arrival rate ∈ {100k, 500k, 1000k} ops ×
+//! maximum working set ∈ {10, 100, 500} GB × Zipf ∈ {1.0, 2.0} — for every
+//! approach, normalized by `ODOnly`.
+
+use spotcache_bench::{heading, print_table};
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::simulation::{simulate, SimConfig};
+use spotcache_core::Approach;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let days = if quick { 21 } else { 90 };
+    let traces = paper_traces(days);
+
+    heading("Figure 13: normalized long-term costs across 18 workloads");
+    println!("({days}-day simulations over all four spot markets; costs / ODOnly)\n");
+
+    let approaches = [
+        Approach::OdPeak,
+        Approach::OdSpotSep,
+        Approach::OdSpotCdf,
+        Approach::PropNoBackup,
+        Approach::Prop,
+    ];
+    let mut rows = Vec::new();
+    for &theta in &[1.0f64, 2.0] {
+        let zipf = if theta == 1.0 { 0.99 } else { theta };
+        for &wss in &[10.0f64, 100.0, 500.0] {
+            for &rate in &[100_000.0f64, 500_000.0, 1_000_000.0] {
+                let base = {
+                    let mut cfg = SimConfig::paper_default(Approach::OdOnly, rate, wss, zipf);
+                    cfg.days = days;
+                    simulate(&cfg, &traces).expect("ODOnly").total_cost()
+                };
+                let mut row = vec![
+                    format!("{theta}"),
+                    format!("{:.0}", wss),
+                    format!("{:.0}k", rate / 1000.0),
+                ];
+                for &a in &approaches {
+                    let mut cfg = SimConfig::paper_default(a, rate, wss, zipf);
+                    cfg.days = days;
+                    let r = simulate(&cfg, &traces).expect("simulation");
+                    row.push(format!("{:.2}", r.total_cost() / base));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    print_table(
+        &[
+            "zipf",
+            "WSS GB",
+            "rate",
+            "ODPeak",
+            "OD+Spot_Sep",
+            "OD+Spot_CDF",
+            "Prop_NoBackup",
+            "Prop",
+        ],
+        &rows,
+    );
+    println!();
+    println!("paper: Prop_NoBackup beats OD+Spot_Sep and ODOnly everywhere and matches");
+    println!("OD+Spot_CDF; OD+Spot_Sep can exceed 1.0 (worse than ODOnly) at Zipf 2.0;");
+    println!("normalized costs barely move with arrival rate at fixed WSS but move a lot");
+    println!("with WSS at fixed rate; high rate/WSS ratios benefit most from mixing.");
+}

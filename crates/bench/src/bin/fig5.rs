@@ -1,0 +1,73 @@
+//! Regenerates paper **Figure 5**: the deterministic token-bucket dynamics
+//! of a t2.micro's CPU capacity and network bandwidth — burst from a full
+//! bucket, collapse to baseline, then recovery while idle.
+
+use spotcache_bench::{heading, print_table};
+use spotcache_cloud::burstable::{BurstableCpu, BurstableNet};
+use spotcache_cloud::catalog::find_type;
+
+fn main() {
+    let spec = find_type("t2.micro")
+        .expect("catalog")
+        .burst
+        .expect("burstable");
+
+    heading("Figure 5a: t2.micro CPU under sustained 100% demand, then idle");
+    let mut cpu = BurstableCpu::new(&spec);
+    let mut rows = Vec::new();
+    // 60 minutes of full demand, sampled every 5 minutes.
+    for min in (0..=60).step_by(5) {
+        let achieved = if min == 0 {
+            spec.peak_vcpus
+        } else {
+            cpu.run(spec.peak_vcpus, 300.0)
+        };
+        rows.push(vec![
+            format!("{min} min"),
+            format!("{achieved:.2} vCPU"),
+            format!("{:.1}", cpu.credits()),
+        ]);
+    }
+    // Then idle: credits bank back at 6/hour.
+    let mut last_min = 60u64;
+    for min in [120u64, 180, 360] {
+        cpu.idle(((min - last_min) * 60) as f64);
+        last_min = min;
+        rows.push(vec![
+            format!("{min} min (idle)"),
+            format!("{:.2} vCPU avail", cpu.bucket().current_rate()),
+            format!("{:.1}", cpu.credits()),
+        ]);
+    }
+    print_table(&["t", "achieved CPU", "credits"], &rows);
+    println!();
+    println!(
+        "expected: ~{:.0} s of full-core burst from 30 credits, then {:.0}% baseline.",
+        BurstableCpu::new(&spec).endurance(1.0),
+        100.0 * spec.base_vcpus
+    );
+
+    heading("Figure 5b: t2.micro network under sustained peak demand");
+    let mut net = BurstableNet::new(&spec);
+    let mut rows = Vec::new();
+    for sec in (0..=600).step_by(60) {
+        let achieved = if sec == 0 {
+            spec.peak_net_mbps
+        } else {
+            net.transmit(spec.peak_net_mbps, 60.0)
+        };
+        rows.push(vec![
+            format!("{sec} s"),
+            format!("{achieved:.0} Mbps"),
+            format!("{:.0} Mbit", net.bucket().level),
+        ]);
+    }
+    print_table(&["t", "achieved bandwidth", "bucket"], &rows);
+    println!();
+    println!(
+        "expected: ~{:.0} s at {:.0} Mbps from a full bucket, then ~{:.0} Mbps baseline.",
+        BurstableNet::new(&spec).endurance(spec.peak_net_mbps),
+        spec.peak_net_mbps,
+        spec.base_net_mbps
+    );
+}

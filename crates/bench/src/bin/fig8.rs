@@ -1,0 +1,87 @@
+//! Regenerates paper **Figure 8**: the spot price of market `m4.XL-c`
+//! alongside the *predicted residual lifetime* of both bids under our
+//! temporal-locality predictor and the CDF baseline — showing how the CDF
+//! approach keeps believing in the low bid through the spiky interval
+//! (days 30–60) while ours collapses its prediction.
+
+use spotcache_bench::{heading, print_table};
+use spotcache_cloud::spot::Bid;
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_cloud::DAY;
+use spotcache_spotmodel::{CdfPredictor, SpotPredictor, TemporalPredictor};
+
+fn main() {
+    let trace = paper_traces(90)
+        .into_iter()
+        .find(|t| t.market.short_label() == "m4.XL-c")
+        .expect("m4.XL-c trace");
+
+    heading("Figure 8: price and predicted residual lifetime, market m4.XL-c");
+
+    let ours = TemporalPredictor::paper_default();
+    let cdf = CdfPredictor::paper_default();
+    let bids = [
+        ("1d", Bid(trace.od_price)),
+        ("5d", Bid(5.0 * trace.od_price)),
+    ];
+
+    let mut rows = Vec::new();
+    for day in (7..90).step_by(3) {
+        let now = day * DAY;
+        let price = trace.price_at(now).unwrap_or(0.0);
+        let mut row = vec![format!("{day}"), format!("{price:.4}")];
+        for (_, bid) in &bids {
+            let fmt = |p: Option<f64>| p.map_or("-".into(), |h| format!("{h:.1}"));
+            row.push(fmt(ours
+                .predict(&trace, now, *bid)
+                .map(|f| f.lifetime / 3_600.0)));
+            row.push(fmt(cdf
+                .predict(&trace, now, *bid)
+                .map(|f| f.lifetime / 3_600.0)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &[
+            "day",
+            "price $/h",
+            "ours L(1d) h",
+            "cdf L(1d) h",
+            "ours L(5d) h",
+            "cdf L(5d) h",
+        ],
+        &rows,
+    );
+
+    // Summary: mean predicted lifetime inside vs outside the spiky window.
+    let mean_pred = |p: &dyn SpotPredictor, bid: Bid, from: u64, to: u64| {
+        let (mut sum, mut n) = (0.0, 0);
+        for day in from..to {
+            if let Some(f) = p.predict(&trace, day * DAY, bid) {
+                sum += f.lifetime / 3_600.0;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    };
+    println!();
+    let bid1 = bids[0].1;
+    println!(
+        "mean predicted L(1d), days 30-60 (spiky): ours {:.1} h, cdf {:.1} h",
+        mean_pred(&ours, bid1, 30, 60),
+        mean_pred(&cdf, bid1, 30, 60)
+    );
+    println!(
+        "mean predicted L(1d), days 60-90 (calm):  ours {:.1} h, cdf {:.1} h",
+        mean_pred(&ours, bid1, 60, 90),
+        mean_pred(&cdf, bid1, 60, 90)
+    );
+    println!();
+    println!("paper: in the failure-heavy interval the CDF baseline still predicts long");
+    println!("lifetimes for the low bid (its price CDF barely moves), while our predictor");
+    println!("collapses, steering the optimizer away from bid 1.");
+}

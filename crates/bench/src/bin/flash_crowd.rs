@@ -1,0 +1,61 @@
+//! Extension experiment: the reactive control element under a flash crowd
+//! (paper Section 4.2's hierarchical predictive+reactive design, which the
+//! paper implements but omits results for due to space).
+//!
+//! Injects a 3× rate surge the forecasters cannot see coming and compares
+//! predictive-only control against predictive+reactive: affected requests,
+//! violated days, and the emergency-capacity bill.
+
+use spotcache_bench::{dollars, heading, pct, print_table};
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::reactive::ReactiveConfig;
+use spotcache_core::simulation::{simulate, FlashCrowd, SimConfig};
+use spotcache_core::Approach;
+
+fn main() {
+    let traces = paper_traces(30);
+
+    heading("Flash crowd: predictive-only vs predictive+reactive (Prop_NoBackup)");
+    println!("workload: 320 kops base, 60 GB, Zipf 1.0; 3x surge for 6 hours on day 15\n");
+
+    let mut rows = Vec::new();
+    for (name, reactive) in [
+        ("predictive only", None),
+        ("with reactive element", Some(ReactiveConfig::default())),
+    ] {
+        let mut cfg = SimConfig::paper_default(Approach::PropNoBackup, 320_000.0, 60.0, 0.99);
+        cfg.days = 30;
+        cfg.flash_crowds = vec![FlashCrowd {
+            start_hour: 15 * 24 + 12,
+            duration_hours: 6,
+            multiplier: 3.0,
+        }];
+        cfg.reactive = reactive;
+        let r = simulate(&cfg, &traces).expect("simulation");
+        let worst = r
+            .hours
+            .iter()
+            .map(|h| h.affected_frac)
+            .fold(0.0f64, f64::max);
+        rows.push(vec![
+            name.to_string(),
+            dollars(r.total_cost()),
+            pct(r.violated_day_frac()),
+            format!("{worst:.3}"),
+            r.reactions.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "control",
+            "total cost",
+            "viol days",
+            "worst-hour affected",
+            "reactions",
+        ],
+        &rows,
+    );
+    println!();
+    println!("the reactive element trades a small emergency on-demand bill for bounding");
+    println!("the crowd's damage to the detection+launch lag (~5 minutes).");
+}

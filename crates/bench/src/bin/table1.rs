@@ -1,0 +1,100 @@
+//! Regenerates paper **Table 1**: per-unit resource prices from the linear
+//! regression over the instance catalog, smallest sizes, and CPU/network
+//! per unit RAM ratios for regular, spot, and burstable offerings.
+
+use spotcache_bench::{heading, print_table};
+use spotcache_cloud::catalog::{BURSTABLE_TYPES, REGULAR_TYPES};
+use spotcache_cloud::pricing::{fit_burstable_model, fit_price_model};
+
+fn main() {
+    heading("Table 1: per-unit resource prices (linear regression)");
+
+    let reg = fit_price_model(REGULAR_TYPES).expect("regression over 25 types");
+    println!(
+        "regular on-demand: p = {:.4}·vCPU + {:.4}·GB   (R² = {:.3}, {} types)",
+        reg.vcpu_unit,
+        reg.ram_unit,
+        reg.r_squared,
+        REGULAR_TYPES.len()
+    );
+    let burst = fit_burstable_model(BURSTABLE_TYPES).expect("burstable regression");
+    println!(
+        "burstable:         p = {:.4}·GB             (R² = {:.4}; CPU/network absent from the model)",
+        burst.ram_unit, burst.r_squared
+    );
+
+    heading("Instance-class comparison (paper Table 1 rows)");
+    let min_ratio = |f: &dyn Fn(&spotcache_cloud::InstanceType) -> f64,
+                     set: &[spotcache_cloud::InstanceType]| {
+        set.iter().map(f).fold(f64::MAX, f64::min)
+    };
+    let max_ratio = |f: &dyn Fn(&spotcache_cloud::InstanceType) -> f64,
+                     set: &[spotcache_cloud::InstanceType]| {
+        set.iter().map(f).fold(f64::MIN, f64::max)
+    };
+    let cpu_lo = min_ratio(&|t| t.cpu_per_ram(false), REGULAR_TYPES);
+    let cpu_hi = max_ratio(&|t| t.cpu_per_ram(false), REGULAR_TYPES);
+    let net_lo = min_ratio(&|t| t.net_per_ram(false), REGULAR_TYPES);
+    let net_hi = max_ratio(&|t| t.net_per_ram(false), REGULAR_TYPES);
+    let b_cpu_lo = min_ratio(&|t| t.cpu_per_ram(false), BURSTABLE_TYPES);
+    let b_cpu_hi = max_ratio(&|t| t.cpu_per_ram(false), BURSTABLE_TYPES);
+    let b_net = BURSTABLE_TYPES[0].net_per_ram(false);
+    let p_cpu_lo = min_ratio(&|t| t.cpu_per_ram(true), BURSTABLE_TYPES);
+    let p_cpu_hi = max_ratio(&|t| t.cpu_per_ram(true), BURSTABLE_TYPES);
+    let p_net_lo = min_ratio(&|t| t.net_per_ram(true), BURSTABLE_TYPES);
+    let p_net_hi = max_ratio(&|t| t.net_per_ram(true), BURSTABLE_TYPES);
+
+    let rows = vec![
+        vec![
+            "Regular (OD)".into(),
+            format!("{:.4}", reg.vcpu_unit),
+            format!("{:.4}", reg.ram_unit),
+            "1".into(),
+            "3.75".into(),
+            format!("{cpu_lo:.2}-{cpu_hi:.2}"),
+            format!("{net_lo:.0}-{net_hi:.0}"),
+        ],
+        vec![
+            "Spot".into(),
+            "70-90% cheaper than OD".into(),
+            "".into(),
+            "1".into(),
+            "3.75".into(),
+            format!("{cpu_lo:.2}-{cpu_hi:.2}"),
+            format!("{net_lo:.0}-{net_hi:.0}"),
+        ],
+        vec![
+            "Burstable (base)".into(),
+            "0".into(),
+            format!("{:.3}", burst.ram_unit),
+            format!("{b_cpu_lo:.3}"),
+            "0.5".into(),
+            format!("{b_cpu_lo:.3}-{b_cpu_hi:.2}"),
+            format!("{b_net:.0}"),
+        ],
+        vec![
+            "Burstable (peak)".into(),
+            "".into(),
+            "".into(),
+            "1".into(),
+            "0.5".into(),
+            format!("{p_cpu_lo:.2}-{p_cpu_hi:.1}"),
+            format!("{p_net_lo:.0}-{p_net_hi:.0}"),
+        ],
+    ];
+    print_table(
+        &[
+            "class",
+            "$/vCPU·h",
+            "$/GB·h",
+            "min vCPU",
+            "min RAM",
+            "vCPU/GB",
+            "Mbps/GB",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!("paper: 0.0397 $/vCPU·h, 0.0057 $/GB·h, R² = 0.99; burstable 0.013 $/GB·h (exact).");
+}

@@ -1,0 +1,34 @@
+//! Regenerates paper **Table 4**: the feature matrix of the procurement
+//! approaches compared in the evaluation.
+
+use spotcache_bench::{heading, print_table};
+use spotcache_core::Approach;
+
+fn main() {
+    heading("Table 4: procurement approaches");
+
+    let mark = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let rows: Vec<Vec<String>> = Approach::ALL
+        .iter()
+        .filter(|a| **a != Approach::OdPeak)
+        .map(|a| {
+            vec![
+                a.name().to_string(),
+                mark(a.uses_our_spot_modeling()),
+                mark(a.uses_mixing()),
+                mark(a.has_backup()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "approach",
+            "our spot modeling?",
+            "hot-cold mixing?",
+            "passive backup?",
+        ],
+        &rows,
+    );
+    println!();
+    println!("(ODPeak — static peak provisioning — is the additional strawman of Section 2.3.)");
+}

@@ -1,0 +1,67 @@
+//! Experiment regenerators and benchmark harness for `spotcache`.
+//!
+//! Every table and figure of the paper's evaluation has a binary under
+//! `src/bin/` that regenerates it (see DESIGN.md for the index), and
+//! `benches/` holds Criterion micro-benchmarks over the core data
+//! structures. This library crate only carries small output helpers shared
+//! by the binaries.
+
+/// Prints a fixed-width text table: a header row, a rule, then rows.
+///
+/// Column widths are sized to the widest cell.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Prints a section heading.
+pub fn heading(title: &str) {
+    println!();
+    println!("== {title}");
+    println!();
+}
+
+/// Formats a dollar amount.
+pub fn dollars(v: f64) -> String {
+    format!("${v:.2}")
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(dollars(1.5), "$1.50");
+        assert_eq!(pct(0.25), "25.0%");
+        // Smoke-test the table printer (must not panic).
+        print_table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! The memcached substrate: a sharded, LRU-evicting, byte-accounted
+//! in-memory key-value cache.
+//!
+//! The paper's system stores its cache contents in stock memcached; this
+//! crate provides the equivalent building block in Rust:
+//!
+//! * [`lru`] — an index-based intrusive LRU list (no `unsafe`),
+//! * [`store`] — a sharded store with per-shard locks, least-recently-used
+//!   eviction under a byte budget, optional TTLs against a logical clock,
+//!   and hit/miss/eviction statistics, and
+//! * [`node`] — a cache *node*: one store sized to an instance's RAM, the
+//!   unit the router places data on and the simulator kills on revocation,
+//!   and
+//! * [`protocol`] — the memcached text protocol (parse / execute / encode)
+//!   so a node can be driven with real wire traffic.
+
+pub mod lru;
+pub mod node;
+pub mod protocol;
+pub mod server;
+pub mod slab;
+pub mod store;
+
+pub use lru::LruList;
+pub use node::CacheNode;
+pub use protocol::{execute, parse, serve, Command, ParseError, StoreVerb};
+pub use server::{CacheClient, CacheServer, Clock, LogicalClock, SystemClock};
+pub use slab::{slab_efficiency, SlabAllocator, SlabClasses, SlabError};
+pub use store::{CacheStats, Store, StoreConfig};

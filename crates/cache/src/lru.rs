@@ -1,0 +1,311 @@
+//! An index-based intrusive doubly-linked LRU list.
+//!
+//! Nodes live in a slab (`Vec`) and link to each other by index, so the
+//! structure needs no `unsafe` and no per-operation allocation once the slab
+//! has grown. Each node carries a caller-supplied payload `T` (the store
+//! keeps the cache key there so eviction can find the map entry).
+
+/// Sentinel index meaning "no node".
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    prev: usize,
+    next: usize,
+    value: Option<T>,
+}
+
+/// An LRU list over payloads of type `T`.
+///
+/// Front = most recently used; back = least recently used.
+#[derive(Debug, Clone)]
+pub struct LruList<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl<T> Default for LruList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LruList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at the front (most-recently-used end); returns its
+    /// slot index, stable until removal.
+    pub fn push_front(&mut self, value: T) -> usize {
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    prev: NIL,
+                    next: self.head,
+                    value: Some(value),
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    prev: NIL,
+                    next: self.head,
+                    value: Some(value),
+                });
+                self.nodes.len() - 1
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        self.len += 1;
+        idx
+    }
+
+    /// Unlinks `idx` from its neighbours without freeing the slot.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Moves a live node to the front (marks it most recently used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not refer to a live node.
+    pub fn touch(&mut self, idx: usize) {
+        assert!(self.is_live(idx), "touch of dead LRU slot {idx}");
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Removes a live node, returning its payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not refer to a live node.
+    pub fn remove(&mut self, idx: usize) -> T {
+        assert!(self.is_live(idx), "remove of dead LRU slot {idx}");
+        self.unlink(idx);
+        let value = self.nodes[idx].value.take().expect("live node has a value");
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+        self.free.push(idx);
+        self.len -= 1;
+        value
+    }
+
+    /// Removes and returns the least-recently-used payload.
+    pub fn pop_back(&mut self) -> Option<T> {
+        (self.tail != NIL).then(|| self.remove(self.tail))
+    }
+
+    /// The payload at the least-recently-used end.
+    pub fn back(&self) -> Option<&T> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].value.as_ref().expect("live"))
+    }
+
+    /// The payload at the most-recently-used end.
+    pub fn front(&self) -> Option<&T> {
+        (self.head != NIL).then(|| self.nodes[self.head].value.as_ref().expect("live"))
+    }
+
+    /// Whether `idx` refers to a live node.
+    pub fn is_live(&self, idx: usize) -> bool {
+        idx < self.nodes.len() && self.nodes[idx].value.is_some()
+    }
+
+    /// Iterates payloads from most- to least-recently-used.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        LruIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+}
+
+struct LruIter<'a, T> {
+    list: &'a LruList<T>,
+    cur: usize,
+}
+
+impl<'a, T> Iterator for LruIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.cur == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cur];
+        self.cur = node.next;
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn push_touch_pop_order() {
+        let mut l = LruList::new();
+        let a = l.push_front("a");
+        let _b = l.push_front("b");
+        let _c = l.push_front("c");
+        // Order: c b a. Touch a → a c b.
+        l.touch(a);
+        assert_eq!(l.front(), Some(&"a"));
+        assert_eq!(l.pop_back(), Some("b"));
+        assert_eq!(l.pop_back(), Some("c"));
+        assert_eq!(l.pop_back(), Some("a"));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_middle_keeps_links() {
+        let mut l = LruList::new();
+        let _a = l.push_front(1);
+        let b = l.push_front(2);
+        let _c = l.push_front(3);
+        assert_eq!(l.remove(b), 2);
+        let order: Vec<i32> = l.iter().copied().collect();
+        assert_eq!(order, vec![3, 1]);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        l.remove(a);
+        let b = l.push_front(2);
+        assert_eq!(a, b, "freed slot should be reused");
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn touch_front_is_noop() {
+        let mut l = LruList::new();
+        l.push_front(1);
+        let b = l.push_front(2);
+        l.touch(b);
+        assert_eq!(l.front(), Some(&2));
+        assert_eq!(l.back(), Some(&1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead LRU slot")]
+    fn touch_dead_slot_panics() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        l.remove(a);
+        l.touch(a);
+    }
+
+    #[test]
+    fn single_element_list() {
+        let mut l = LruList::new();
+        let a = l.push_front(9);
+        l.touch(a);
+        assert_eq!(l.front(), l.back());
+        assert_eq!(l.remove(a), 9);
+        assert!(l.front().is_none());
+        assert!(l.back().is_none());
+    }
+
+    proptest! {
+        /// The list behaves exactly like a VecDeque model under random
+        /// push/touch/remove/pop sequences.
+        #[test]
+        fn matches_vecdeque_model(ops in proptest::collection::vec(0u8..4, 1..200)) {
+            let mut l: LruList<u64> = LruList::new();
+            let mut model: VecDeque<u64> = VecDeque::new(); // front = MRU
+            let mut live: Vec<(usize, u64)> = Vec::new();
+            let mut next_val = 0u64;
+            for op in ops {
+                match op {
+                    0 => {
+                        let idx = l.push_front(next_val);
+                        model.push_front(next_val);
+                        live.push((idx, next_val));
+                        next_val += 1;
+                    }
+                    1 if !live.is_empty() => {
+                        let (idx, v) = live[(next_val as usize) % live.len()];
+                        l.touch(idx);
+                        let pos = model.iter().position(|&x| x == v).unwrap();
+                        model.remove(pos);
+                        model.push_front(v);
+                    }
+                    2 if !live.is_empty() => {
+                        let k = (next_val as usize) % live.len();
+                        let (idx, v) = live.remove(k);
+                        prop_assert_eq!(l.remove(idx), v);
+                        let pos = model.iter().position(|&x| x == v).unwrap();
+                        model.remove(pos);
+                    }
+                    3 => {
+                        let got = l.pop_back();
+                        let want = model.pop_back();
+                        prop_assert_eq!(got, want);
+                        if let Some(v) = want {
+                            live.retain(|&(_, x)| x != v);
+                        }
+                    }
+                    _ => {}
+                }
+                prop_assert_eq!(l.len(), model.len());
+                let order: Vec<u64> = l.iter().copied().collect();
+                let want: Vec<u64> = model.iter().copied().collect();
+                prop_assert_eq!(order, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! A cache *node*: one store sized to a cloud instance's RAM.
+//!
+//! Nodes are the placement unit of the router and the failure unit of the
+//! simulator: revoking a spot instance clears its node.
+
+use crate::store::{Store, StoreConfig};
+
+/// Fraction of an instance's RAM usable for cache items (the rest goes to
+/// the OS, memcached's own structures, and connection buffers).
+pub const USABLE_RAM_FRACTION: f64 = 0.85;
+
+/// One cache node.
+pub struct CacheNode {
+    /// Stable node identifier (typically the cloud instance id).
+    pub id: u64,
+    /// The node's key-value store.
+    pub store: Store,
+    /// vCPUs backing the node (capacity input for the latency model).
+    pub vcpus: f64,
+    /// RAM backing the node, GiB.
+    pub ram_gb: f64,
+}
+
+impl CacheNode {
+    /// Creates a node for an instance with the given resources.
+    ///
+    /// The store budget is [`USABLE_RAM_FRACTION`] of the instance RAM.
+    pub fn new(id: u64, vcpus: f64, ram_gb: f64) -> Self {
+        let capacity_bytes = (ram_gb * USABLE_RAM_FRACTION * (1u64 << 30) as f64) as usize;
+        Self {
+            id,
+            store: Store::new(StoreConfig {
+                capacity_bytes,
+                shards: 8,
+            }),
+            vcpus,
+            ram_gb,
+        }
+    }
+
+    /// Creates a tiny node for tests (exact byte budget, single shard).
+    pub fn for_tests(id: u64, capacity_bytes: usize) -> Self {
+        Self {
+            id,
+            store: Store::with_capacity(capacity_bytes),
+            vcpus: 1.0,
+            ram_gb: 1.0,
+        }
+    }
+
+    /// Usable cache bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.store.capacity_bytes()
+    }
+
+    /// Simulates the node's RAM vanishing (instance revoked/terminated).
+    pub fn wipe(&self) {
+        self.store.clear();
+    }
+}
+
+impl std::fmt::Debug for CacheNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheNode")
+            .field("id", &self.id)
+            .field("vcpus", &self.vcpus)
+            .field("ram_gb", &self.ram_gb)
+            .field("items", &self.store.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_scales_with_ram() {
+        let n = CacheNode::new(1, 2.0, 8.0);
+        let expect = (8.0 * USABLE_RAM_FRACTION * (1u64 << 30) as f64) as usize;
+        // Per-shard integer division may shave a few bytes.
+        assert!(n.capacity_bytes() <= expect);
+        assert!(n.capacity_bytes() > expect - 64);
+    }
+
+    #[test]
+    fn wipe_clears_contents() {
+        let n = CacheNode::for_tests(1, 4096);
+        n.store.set("k", "v");
+        assert_eq!(n.store.len(), 1);
+        n.wipe();
+        assert!(n.store.is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! The memcached text protocol: parsing, execution, and response encoding.
+//!
+//! The paper's system speaks to stock memcached; this module implements
+//! the commands the system actually uses (plus the common administrative
+//! ones) against a [`Store`], so a node can be driven with real protocol
+//! traffic:
+//!
+//! ```text
+//! set <key> <flags> <exptime> <bytes>\r\n<data>\r\n   -> STORED
+//! add/replace ...                                     -> STORED | NOT_STORED
+//! get <key>*\r\n                                      -> VALUE ... END
+//! delete <key>\r\n                                    -> DELETED | NOT_FOUND
+//! incr/decr <key> <delta>\r\n                         -> <value> | NOT_FOUND
+//! flush_all\r\n                                       -> OK
+//! version\r\n                                         -> VERSION ...
+//! ```
+//!
+//! Flags are stored with the value (memcached treats them as opaque);
+//! expiry uses the store's logical clock.
+
+use bytes::Bytes;
+
+use crate::store::Store;
+
+/// Maximum key length accepted (memcached's limit).
+pub const MAX_KEY_LEN: usize = 250;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `get`/`gets` over one or more keys.
+    Get {
+        /// The requested keys.
+        keys: Vec<Bytes>,
+    },
+    /// A storage command (`set`, `add`, `replace`).
+    Store {
+        /// Which storage semantic.
+        verb: StoreVerb,
+        /// The key.
+        key: Bytes,
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (0 = never).
+        exptime: u64,
+        /// The value payload.
+        data: Bytes,
+        /// `noreply` suppression.
+        noreply: bool,
+    },
+    /// `delete <key>`.
+    Delete {
+        /// The key.
+        key: Bytes,
+        /// `noreply` suppression.
+        noreply: bool,
+    },
+    /// `incr`/`decr <key> <delta>`.
+    Arith {
+        /// The key.
+        key: Bytes,
+        /// Delta magnitude.
+        delta: u64,
+        /// `true` for incr, `false` for decr.
+        increment: bool,
+        /// `noreply` suppression.
+        noreply: bool,
+    },
+    /// `flush_all`.
+    FlushAll,
+    /// `version`.
+    Version,
+    /// `stats`.
+    Stats,
+}
+
+/// Storage command semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreVerb {
+    /// Unconditional store.
+    Set,
+    /// Store only if absent.
+    Add,
+    /// Store only if present.
+    Replace,
+}
+
+/// Parse errors, rendered as memcached `CLIENT_ERROR`/`ERROR` lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The command verb is unknown.
+    UnknownCommand,
+    /// The line is malformed for its verb.
+    BadLine(&'static str),
+    /// A key is empty, too long, or contains whitespace/control bytes.
+    BadKey,
+    /// The input does not yet contain a full request (need more bytes).
+    Incomplete,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownCommand => write!(f, "ERROR"),
+            ParseError::BadLine(m) => write!(f, "CLIENT_ERROR {m}"),
+            ParseError::BadKey => write!(f, "CLIENT_ERROR bad key"),
+            ParseError::Incomplete => write!(f, "CLIENT_ERROR incomplete request"),
+        }
+    }
+}
+
+fn valid_key(k: &[u8]) -> bool {
+    !k.is_empty() && k.len() <= MAX_KEY_LEN && k.iter().all(|&b| b > 32 && b != 127)
+}
+
+/// Parses one request from `input`.
+///
+/// Returns the command and the number of bytes consumed, or
+/// [`ParseError::Incomplete`] when more input is needed — the contract a
+/// streaming reader wants.
+pub fn parse(input: &[u8]) -> Result<(Command, usize), ParseError> {
+    let line_end = find_crlf(input).ok_or(ParseError::Incomplete)?;
+    let line = &input[..line_end];
+    let mut consumed = line_end + 2;
+    let mut parts = line.split(|&b| b == b' ').filter(|p| !p.is_empty());
+    let verb = parts.next().ok_or(ParseError::UnknownCommand)?;
+
+    match verb {
+        b"get" | b"gets" => {
+            let keys: Vec<Bytes> = parts.map(Bytes::copy_from_slice).collect();
+            if keys.is_empty() {
+                return Err(ParseError::BadLine("get needs at least one key"));
+            }
+            if keys.iter().any(|k| !valid_key(k)) {
+                return Err(ParseError::BadKey);
+            }
+            Ok((Command::Get { keys }, consumed))
+        }
+        b"set" | b"add" | b"replace" => {
+            let sv = match verb {
+                b"set" => StoreVerb::Set,
+                b"add" => StoreVerb::Add,
+                _ => StoreVerb::Replace,
+            };
+            let key = parts.next().ok_or(ParseError::BadLine("missing key"))?;
+            if !valid_key(key) {
+                return Err(ParseError::BadKey);
+            }
+            let flags = parse_u64(parts.next().ok_or(ParseError::BadLine("missing flags"))?)
+                .ok_or(ParseError::BadLine("bad flags"))? as u32;
+            let exptime = parse_u64(parts.next().ok_or(ParseError::BadLine("missing exptime"))?)
+                .ok_or(ParseError::BadLine("bad exptime"))?;
+            let bytes = parse_u64(parts.next().ok_or(ParseError::BadLine("missing bytes"))?)
+                .ok_or(ParseError::BadLine("bad byte count"))? as usize;
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            // The data block: <bytes> bytes followed by CRLF.
+            if input.len() < consumed + bytes + 2 {
+                return Err(ParseError::Incomplete);
+            }
+            let data = &input[consumed..consumed + bytes];
+            if &input[consumed + bytes..consumed + bytes + 2] != b"\r\n" {
+                return Err(ParseError::BadLine("bad data chunk"));
+            }
+            consumed += bytes + 2;
+            Ok((
+                Command::Store {
+                    verb: sv,
+                    key: Bytes::copy_from_slice(key),
+                    flags,
+                    exptime,
+                    data: Bytes::copy_from_slice(data),
+                    noreply,
+                },
+                consumed,
+            ))
+        }
+        b"delete" => {
+            let key = parts.next().ok_or(ParseError::BadLine("missing key"))?;
+            if !valid_key(key) {
+                return Err(ParseError::BadKey);
+            }
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            Ok((
+                Command::Delete {
+                    key: Bytes::copy_from_slice(key),
+                    noreply,
+                },
+                consumed,
+            ))
+        }
+        b"incr" | b"decr" => {
+            let key = parts.next().ok_or(ParseError::BadLine("missing key"))?;
+            if !valid_key(key) {
+                return Err(ParseError::BadKey);
+            }
+            let delta = parse_u64(parts.next().ok_or(ParseError::BadLine("missing delta"))?)
+                .ok_or(ParseError::BadLine("bad delta"))?;
+            let noreply = matches!(parts.next(), Some(b"noreply"));
+            Ok((
+                Command::Arith {
+                    key: Bytes::copy_from_slice(key),
+                    delta,
+                    increment: verb == b"incr",
+                    noreply,
+                },
+                consumed,
+            ))
+        }
+        b"flush_all" => Ok((Command::FlushAll, consumed)),
+        b"version" => Ok((Command::Version, consumed)),
+        b"stats" => Ok((Command::Stats, consumed)),
+        _ => Err(ParseError::UnknownCommand),
+    }
+}
+
+fn find_crlf(input: &[u8]) -> Option<usize> {
+    input.windows(2).position(|w| w == b"\r\n")
+}
+
+fn parse_u64(b: &[u8]) -> Option<u64> {
+    std::str::from_utf8(b).ok()?.parse().ok()
+}
+
+/// Wire format of a stored value: 4-byte big-endian flags then the data.
+/// (Flags are opaque to memcached but must round-trip.)
+fn encode_value(flags: u32, data: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(4 + data.len());
+    v.extend_from_slice(&flags.to_be_bytes());
+    v.extend_from_slice(data);
+    v
+}
+
+fn decode_value(raw: &[u8]) -> Option<(u32, &[u8])> {
+    if raw.len() < 4 {
+        return None;
+    }
+    let flags = u32::from_be_bytes([raw[0], raw[1], raw[2], raw[3]]);
+    Some((flags, &raw[4..]))
+}
+
+/// Executes a command against a store at logical time `now`, returning the
+/// encoded response (empty for `noreply` commands).
+pub fn execute(store: &Store, cmd: &Command, now: u64) -> Vec<u8> {
+    match cmd {
+        Command::Get { keys } => {
+            let mut out = Vec::new();
+            for key in keys {
+                if let Some(raw) = store.get_at(key, now) {
+                    if let Some((flags, data)) = decode_value(&raw) {
+                        out.extend_from_slice(b"VALUE ");
+                        out.extend_from_slice(key);
+                        out.extend_from_slice(format!(" {flags} {}\r\n", data.len()).as_bytes());
+                        out.extend_from_slice(data);
+                        out.extend_from_slice(b"\r\n");
+                    }
+                }
+            }
+            out.extend_from_slice(b"END\r\n");
+            out
+        }
+        Command::Store {
+            verb,
+            key,
+            flags,
+            exptime,
+            data,
+            noreply,
+        } => {
+            let exists = store.contains(key);
+            let store_it = match verb {
+                StoreVerb::Set => true,
+                StoreVerb::Add => !exists,
+                StoreVerb::Replace => exists,
+            };
+            let reply: &[u8] = if store_it {
+                let ttl = (*exptime > 0).then_some(*exptime);
+                store.set_at(key.clone(), encode_value(*flags, data), now, ttl);
+                // An over-budget item is silently rejected by the store;
+                // surface that as memcached's SERVER_ERROR.
+                if store.contains(key) {
+                    b"STORED\r\n"
+                } else {
+                    b"SERVER_ERROR object too large for cache\r\n"
+                }
+            } else {
+                b"NOT_STORED\r\n"
+            };
+            if *noreply {
+                Vec::new()
+            } else {
+                reply.to_vec()
+            }
+        }
+        Command::Delete { key, noreply } => {
+            let reply: &[u8] = if store.delete(key) {
+                b"DELETED\r\n"
+            } else {
+                b"NOT_FOUND\r\n"
+            };
+            if *noreply {
+                Vec::new()
+            } else {
+                reply.to_vec()
+            }
+        }
+        Command::Arith {
+            key,
+            delta,
+            increment,
+            noreply,
+        } => {
+            let reply = match store.get_at(key, now) {
+                Some(raw) => match decode_value(&raw)
+                    .and_then(|(f, d)| std::str::from_utf8(d).ok().map(|s| (f, s.to_owned())))
+                    .and_then(|(f, s)| s.trim().parse::<u64>().ok().map(|v| (f, v)))
+                {
+                    Some((flags, value)) => {
+                        let newv = if *increment {
+                            value.wrapping_add(*delta)
+                        } else {
+                            value.saturating_sub(*delta)
+                        };
+                        store.set_at(
+                            key.clone(),
+                            encode_value(flags, newv.to_string().as_bytes()),
+                            now,
+                            None,
+                        );
+                        format!("{newv}\r\n").into_bytes()
+                    }
+                    None => {
+                        b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n".to_vec()
+                    }
+                },
+                None => b"NOT_FOUND\r\n".to_vec(),
+            };
+            if *noreply {
+                Vec::new()
+            } else {
+                reply
+            }
+        }
+        Command::FlushAll => {
+            store.clear();
+            b"OK\r\n".to_vec()
+        }
+        Command::Version => b"VERSION spotcache-1.0\r\n".to_vec(),
+        Command::Stats => {
+            let s = store.stats();
+            let mut out = String::new();
+            for (k, v) in [
+                ("get_hits", s.hits),
+                ("get_misses", s.misses),
+                ("evictions", s.evictions),
+                ("cmd_set", s.sets),
+                ("expired_unfetched", s.expirations),
+                ("curr_items", store.len() as u64),
+                ("bytes", store.used_bytes() as u64),
+            ] {
+                out.push_str(&format!("STAT {k} {v}\r\n"));
+            }
+            out.push_str("END\r\n");
+            out.into_bytes()
+        }
+    }
+}
+
+/// Parses and executes everything in `input`, returning the concatenated
+/// responses and the bytes consumed — one call of a server's read loop.
+pub fn serve(store: &Store, input: &[u8], now: u64) -> (Vec<u8>, usize) {
+    let mut out = Vec::new();
+    let mut consumed = 0;
+    while consumed < input.len() {
+        match parse(&input[consumed..]) {
+            Ok((cmd, n)) => {
+                out.extend_from_slice(&execute(store, &cmd, now));
+                consumed += n;
+            }
+            Err(ParseError::Incomplete) => break,
+            Err(e) => {
+                out.extend_from_slice(format!("{e}\r\n").as_bytes());
+                // Skip the offending line to resynchronize.
+                match find_crlf(&input[consumed..]) {
+                    Some(end) => consumed += end + 2,
+                    None => break,
+                }
+            }
+        }
+    }
+    (out, consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Store {
+        Store::with_capacity(1 << 20)
+    }
+
+    fn run(s: &Store, req: &str) -> String {
+        let (out, consumed) = serve(s, req.as_bytes(), 0);
+        assert_eq!(consumed, req.len(), "whole request consumed");
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn set_then_get_roundtrip() {
+        let s = store();
+        assert_eq!(run(&s, "set foo 42 0 5\r\nhello\r\n"), "STORED\r\n");
+        assert_eq!(run(&s, "get foo\r\n"), "VALUE foo 42 5\r\nhello\r\nEND\r\n");
+    }
+
+    #[test]
+    fn get_multiple_keys_skips_missing() {
+        let s = store();
+        run(&s, "set a 0 0 1\r\nx\r\n");
+        run(&s, "set c 0 0 1\r\ny\r\n");
+        let out = run(&s, "get a b c\r\n");
+        assert_eq!(out, "VALUE a 0 1\r\nx\r\nVALUE c 0 1\r\ny\r\nEND\r\n");
+    }
+
+    #[test]
+    fn add_and_replace_semantics() {
+        let s = store();
+        assert_eq!(run(&s, "replace k 0 0 1\r\na\r\n"), "NOT_STORED\r\n");
+        assert_eq!(run(&s, "add k 0 0 1\r\na\r\n"), "STORED\r\n");
+        assert_eq!(run(&s, "add k 0 0 1\r\nb\r\n"), "NOT_STORED\r\n");
+        assert_eq!(run(&s, "replace k 0 0 1\r\nc\r\n"), "STORED\r\n");
+        assert_eq!(run(&s, "get k\r\n"), "VALUE k 0 1\r\nc\r\nEND\r\n");
+    }
+
+    #[test]
+    fn delete_semantics() {
+        let s = store();
+        run(&s, "set k 0 0 1\r\nv\r\n");
+        assert_eq!(run(&s, "delete k\r\n"), "DELETED\r\n");
+        assert_eq!(run(&s, "delete k\r\n"), "NOT_FOUND\r\n");
+    }
+
+    #[test]
+    fn incr_decr() {
+        let s = store();
+        run(&s, "set n 7 0 2\r\n10\r\n");
+        assert_eq!(run(&s, "incr n 5\r\n"), "15\r\n");
+        assert_eq!(run(&s, "decr n 20\r\n"), "0\r\n"); // saturates at 0
+        assert_eq!(run(&s, "incr missing 1\r\n"), "NOT_FOUND\r\n");
+        run(&s, "set t 0 0 3\r\nabc\r\n");
+        assert!(run(&s, "incr t 1\r\n").starts_with("CLIENT_ERROR"));
+        // Flags survive arithmetic.
+        assert_eq!(run(&s, "get n\r\n"), "VALUE n 7 1\r\n0\r\nEND\r\n");
+    }
+
+    #[test]
+    fn expiry_via_logical_clock() {
+        let s = store();
+        let (out, _) = serve(&s, b"set k 0 60 1\r\nv\r\n", 100);
+        assert_eq!(out, b"STORED\r\n");
+        let (out, _) = serve(&s, b"get k\r\n", 150);
+        assert!(String::from_utf8(out).unwrap().starts_with("VALUE"));
+        let (out, _) = serve(&s, b"get k\r\n", 161);
+        assert_eq!(out, b"END\r\n");
+    }
+
+    #[test]
+    fn noreply_suppresses_output() {
+        let s = store();
+        assert_eq!(run(&s, "set k 0 0 1 noreply\r\nv\r\n"), "");
+        assert_eq!(run(&s, "delete k noreply\r\n"), "");
+        assert_eq!(run(&s, "delete k noreply\r\n"), "");
+    }
+
+    #[test]
+    fn flush_version_stats() {
+        let s = store();
+        run(&s, "set k 0 0 1\r\nv\r\n");
+        assert_eq!(run(&s, "flush_all\r\n"), "OK\r\n");
+        assert_eq!(run(&s, "get k\r\n"), "END\r\n");
+        assert!(run(&s, "version\r\n").starts_with("VERSION"));
+        let stats = run(&s, "stats\r\n");
+        assert!(stats.contains("STAT cmd_set 1"));
+        assert!(stats.ends_with("END\r\n"));
+    }
+
+    #[test]
+    fn pipelined_commands_in_one_buffer() {
+        let s = store();
+        let out = run(&s, "set a 0 0 1\r\nx\r\nget a\r\ndelete a\r\n");
+        assert_eq!(out, "STORED\r\nVALUE a 0 1\r\nx\r\nEND\r\nDELETED\r\n");
+    }
+
+    #[test]
+    fn incomplete_input_waits_for_more() {
+        let s = store();
+        let (out, consumed) = serve(&s, b"set k 0 0 10\r\npart", 0);
+        assert!(out.is_empty());
+        assert_eq!(consumed, 0);
+        let (out, consumed) = serve(&s, b"get k\r\nget ", 0);
+        assert_eq!(out, b"END\r\n");
+        assert_eq!(consumed, 7);
+    }
+
+    #[test]
+    fn errors_resynchronize() {
+        let s = store();
+        let out = run(&s, "bogus\r\nget missing\r\n");
+        assert_eq!(out, "ERROR\r\nEND\r\n");
+        let out = run(&s, "set onlykey\r\n");
+        assert!(out.starts_with("CLIENT_ERROR"));
+    }
+
+    #[test]
+    fn bad_keys_rejected() {
+        let s = store();
+        let long = "k".repeat(251);
+        assert!(run(&s, &format!("get {long}\r\n")).starts_with("CLIENT_ERROR"));
+        assert_eq!(parse(b"get \x01bad\r\n").unwrap_err(), ParseError::BadKey);
+    }
+
+    #[test]
+    fn data_block_must_end_with_crlf() {
+        let s = store();
+        // No trailing CRLF after the declared 2 bytes: the command errors
+        // and the reader resynchronizes at the next line boundary.
+        let (out, consumed) = serve(&s, b"set k 0 0 2\r\nabXX", 0);
+        assert!(String::from_utf8(out).unwrap().starts_with("CLIENT_ERROR"));
+        assert_eq!(consumed, 13, "resynchronized past the command line");
+    }
+
+    #[test]
+    fn oversized_object_reports_server_error() {
+        let s = Store::with_capacity(128);
+        let big = "v".repeat(500);
+        let out = run(&s, &format!("set k 0 0 500\r\n{big}\r\n"));
+        assert!(out.starts_with("SERVER_ERROR"), "{out}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Spot markets: identifiers, bids, and price traces.
+//!
+//! A *market* is an (instance type, availability zone) pair — each such pair
+//! has its own independent price series on EC2. A tenant participates by
+//! placing a *bid*: while the market price stays at or below the bid the
+//! instance runs and is billed at the market price; the moment the price
+//! exceeds the bid the instance is revoked (with a 2-minute warning).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TRACE_STEP;
+
+/// Identifies one spot market: an instance type in an availability zone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MarketId {
+    /// EC2 instance type name, e.g. `"m4.xlarge"`.
+    pub instance_type: String,
+    /// Availability zone suffix, e.g. `"us-east-1c"`.
+    pub zone: String,
+}
+
+impl MarketId {
+    /// Creates a market id.
+    pub fn new(instance_type: impl Into<String>, zone: impl Into<String>) -> Self {
+        Self {
+            instance_type: instance_type.into(),
+            zone: zone.into(),
+        }
+    }
+
+    /// Short display label in the paper's style, e.g. `"m4.XL-c"`.
+    pub fn short_label(&self) -> String {
+        let size = self
+            .instance_type
+            .split('.')
+            .nth(1)
+            .unwrap_or(&self.instance_type);
+        let size = match size {
+            "large" => "L",
+            "xlarge" => "XL",
+            "2xlarge" => "2XL",
+            other => other,
+        };
+        let family = self.instance_type.split('.').next().unwrap_or("");
+        let zone_letter = self.zone.chars().last().unwrap_or('?');
+        format!("{family}.{size}-{zone_letter}")
+    }
+}
+
+impl fmt::Display for MarketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.instance_type, self.zone)
+    }
+}
+
+/// A bid, stored as an absolute hourly dollar price.
+///
+/// The paper expresses bids as multiples of the on-demand price `d`
+/// (e.g. `0.5d`, `1d`, `5d`); [`Bid::times_od`] builds those.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bid(pub f64);
+
+impl Bid {
+    /// A bid of `k` times the on-demand price `od`.
+    pub fn times_od(k: f64, od: f64) -> Self {
+        Bid(k * od)
+    }
+
+    /// The absolute dollar value of the bid.
+    pub fn dollars(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether this bid survives a given market price.
+    pub fn covers(&self, price: f64) -> bool {
+        price <= self.0 + 1e-12
+    }
+}
+
+/// An evenly-sampled spot price trace for one market.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotTrace {
+    /// The market this trace belongs to.
+    pub market: MarketId,
+    /// Timestamp (seconds) of the first sample.
+    pub start: u64,
+    /// Sample interval in seconds.
+    pub step: u64,
+    /// Price samples, dollars per hour.
+    pub prices: Vec<f64>,
+    /// The market's on-demand reference price (the `d` bids are scaled by).
+    pub od_price: f64,
+}
+
+impl SpotTrace {
+    /// Builds a trace from raw samples at the default 5-minute resolution.
+    pub fn new(market: MarketId, od_price: f64, prices: Vec<f64>) -> Self {
+        Self {
+            market,
+            start: 0,
+            step: TRACE_STEP,
+            prices,
+            od_price,
+        }
+    }
+
+    /// Duration covered by the trace, in seconds.
+    pub fn duration(&self) -> u64 {
+        self.prices.len() as u64 * self.step
+    }
+
+    /// Timestamp one past the last sample's interval.
+    pub fn end(&self) -> u64 {
+        self.start + self.duration()
+    }
+
+    /// The price in effect at time `t` (zero-order hold). Clamps to the
+    /// first/last sample outside the covered range; returns `None` for an
+    /// empty trace.
+    pub fn price_at(&self, t: u64) -> Option<f64> {
+        if self.prices.is_empty() {
+            return None;
+        }
+        let idx = if t <= self.start {
+            0
+        } else {
+            (((t - self.start) / self.step) as usize).min(self.prices.len() - 1)
+        };
+        Some(self.prices[idx])
+    }
+
+    /// Iterates `(timestamp, price)` pairs over `[from, to)`.
+    pub fn samples(&self, from: u64, to: u64) -> impl Iterator<Item = (u64, f64)> + '_ {
+        let step = self.step;
+        let start = self.start;
+        self.prices.iter().enumerate().filter_map(move |(i, &p)| {
+            let t = start + i as u64 * step;
+            (t >= from && t < to).then_some((t, p))
+        })
+    }
+
+    /// Average price over `[from, to)`; `None` when the window is empty.
+    pub fn mean_price(&self, from: u64, to: u64) -> Option<f64> {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for (_, p) in self.samples(from, to) {
+            sum += p;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// First time `>= from` at which the price exceeds `bid`; `None` if the
+    /// bid survives the rest of the trace.
+    pub fn next_failure(&self, from: u64, bid: Bid) -> Option<u64> {
+        self.samples(from, u64::MAX)
+            .find(|&(_, p)| !bid.covers(p))
+            .map(|(t, _)| t)
+    }
+
+    /// Fraction of samples in `[from, to)` with price at or below `bid`.
+    pub fn availability(&self, from: u64, to: u64, bid: Bid) -> f64 {
+        let (mut ok, mut n) = (0usize, 0usize);
+        for (_, p) in self.samples(from, to) {
+            n += 1;
+            if bid.covers(p) {
+                ok += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            ok as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(prices: Vec<f64>) -> SpotTrace {
+        SpotTrace::new(MarketId::new("m4.large", "us-east-1d"), 0.12, prices)
+    }
+
+    #[test]
+    fn short_labels_match_paper_style() {
+        assert_eq!(
+            MarketId::new("m4.xlarge", "us-east-1c").short_label(),
+            "m4.XL-c"
+        );
+        assert_eq!(
+            MarketId::new("m4.large", "us-east-1d").short_label(),
+            "m4.L-d"
+        );
+    }
+
+    #[test]
+    fn price_at_zero_order_hold_and_clamping() {
+        let t = trace(vec![0.1, 0.2, 0.3]);
+        assert_eq!(t.price_at(0), Some(0.1));
+        assert_eq!(t.price_at(299), Some(0.1));
+        assert_eq!(t.price_at(300), Some(0.2));
+        assert_eq!(t.price_at(10_000), Some(0.3)); // clamps past end
+        assert_eq!(trace(vec![]).price_at(0), None);
+    }
+
+    #[test]
+    fn next_failure_finds_first_exceedance() {
+        let t = trace(vec![0.1, 0.1, 0.5, 0.1]);
+        assert_eq!(t.next_failure(0, Bid(0.2)), Some(600));
+        assert_eq!(t.next_failure(601, Bid(0.2)), None); // sample at 900 is 0.1
+        assert_eq!(t.next_failure(0, Bid(1.0)), None);
+    }
+
+    #[test]
+    fn availability_counts_covered_samples() {
+        let t = trace(vec![0.1, 0.3, 0.1, 0.3]);
+        assert!((t.availability(0, 1200, Bid(0.2)) - 0.5).abs() < 1e-12);
+        assert_eq!(t.availability(0, 0, Bid(0.2)), 0.0);
+    }
+
+    #[test]
+    fn mean_price_over_window() {
+        let t = trace(vec![0.1, 0.2, 0.3, 0.4]);
+        assert!((t.mean_price(0, 600).unwrap() - 0.15).abs() < 1e-12);
+        assert!(t.mean_price(5_000, 6_000).is_none());
+    }
+
+    #[test]
+    fn bid_covers_is_inclusive() {
+        assert!(Bid(0.2).covers(0.2));
+        assert!(Bid(0.2).covers(0.1));
+        assert!(!Bid(0.2).covers(0.21));
+        let b = Bid::times_od(5.0, 0.1);
+        assert!((b.dollars() - 0.5).abs() < 1e-12);
+    }
+}

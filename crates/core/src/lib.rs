@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! The `spotcache` system core: the paper's global controller, the six
+//! procurement approaches, backup sizing, and the simulation drivers behind
+//! every evaluation figure.
+//!
+//! * [`approaches`] — `ODPeak`, `ODOnly`, `OD+Spot_Sep`, `OD+Spot_CDF`,
+//!   `Prop_NoBackup`, `Prop` (paper Table 4),
+//! * [`controller`] — forecast → predict → optimize → publish, once per
+//!   control slot (paper Section 4.2),
+//! * [`backup`] — burstable passive-backup sizing (Section 3.3),
+//! * [`simulation`] — 90-day hourly cost/violation simulation (Figures 7,
+//!   12, 13), and
+//! * [`prototype`] — per-minute single-day latency emulation (Figures 9,
+//!   10).
+
+pub mod approaches;
+pub mod backup;
+pub mod cluster;
+pub mod controller;
+pub mod prototype;
+pub mod reactive;
+pub mod replication;
+pub mod simulation;
+
+pub use approaches::Approach;
+pub use backup::{cheapest_burstable_backup, size_backup, BackupPlan};
+pub use cluster::{ClusterStats, LiveCluster, LiveClusterConfig, ServeOutcome};
+pub use controller::{ControllerConfig, GlobalController, SlotPlan};
+pub use prototype::{run_prototype, PrototypeConfig, PrototypeResult};
+pub use reactive::{ReactiveConfig, ReactiveController};
+pub use replication::{simulate_replication, ReplicationConfig, ReplicationResult};
+pub use simulation::{simulate, FlashCrowd, HourRecord, SimConfig, SimResult};

@@ -1,0 +1,204 @@
+//! The reactive control element (paper Section 4.2).
+//!
+//! The predictive optimizer plans once per slot from AR(2) forecasts; a
+//! flash crowd that arrives mid-slot is invisible to it until the next
+//! boundary. The paper therefore pairs the predictive controller with a
+//! *reactive* element "to take corrective resource allocation decisions in
+//! case of unexpected events such as flash crowds" — the classic
+//! hierarchical predictive+reactive design (Gandhi et al., Urgaonkar et
+//! al.).
+//!
+//! The reactive element watches the observed arrival rate against the
+//! planned capacity and, when the overload ratio crosses a trigger, orders
+//! an immediate on-demand scale-out (spot procurement is too slow and too
+//! risky for an emergency). A cooldown prevents oscillation while the
+//! emergency instances launch and the next predictive plan absorbs the new
+//! level.
+
+use serde::{Deserialize, Serialize};
+
+/// Reactive-controller tuning.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReactiveConfig {
+    /// Observed-rate / planned-capacity ratio that triggers a reaction
+    /// (default 1.1: react once the plan is 10% under water).
+    pub trigger_ratio: f64,
+    /// Capacity headroom provisioned over the observed rate when reacting
+    /// (default 1.25).
+    pub headroom: f64,
+    /// Minimum seconds between reactions (covers instance launch time plus
+    /// ramp; default 300).
+    pub cooldown_secs: u64,
+    /// Hard cap on emergency instances per reaction (safety valve against
+    /// a corrupt rate signal; default 64).
+    pub max_burst_instances: u32,
+}
+
+impl Default for ReactiveConfig {
+    fn default() -> Self {
+        Self {
+            trigger_ratio: 1.1,
+            headroom: 1.25,
+            cooldown_secs: 300,
+            max_burst_instances: 64,
+        }
+    }
+}
+
+/// An emergency scale-out order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReactiveAction {
+    /// Additional on-demand instances to launch right now.
+    pub extra_instances: u32,
+    /// When the reaction fired.
+    pub at: u64,
+}
+
+/// The reactive controller.
+#[derive(Debug, Clone)]
+pub struct ReactiveController {
+    cfg: ReactiveConfig,
+    last_fired: Option<u64>,
+    reactions: u32,
+}
+
+impl ReactiveController {
+    /// Creates a controller.
+    pub fn new(cfg: ReactiveConfig) -> Self {
+        Self {
+            cfg,
+            last_fired: None,
+            reactions: 0,
+        }
+    }
+
+    /// Creates a controller with default tuning.
+    pub fn with_defaults() -> Self {
+        Self::new(ReactiveConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReactiveConfig {
+        &self.cfg
+    }
+
+    /// Number of reactions fired so far.
+    pub fn reactions(&self) -> u32 {
+        self.reactions
+    }
+
+    /// Observes one monitoring sample.
+    ///
+    /// * `observed_rate` — measured arrival rate right now, ops/sec;
+    /// * `planned_capacity` — the predictive plan's aggregate serving
+    ///   capacity, ops/sec;
+    /// * `per_instance_rate` — capacity one emergency on-demand instance
+    ///   adds (the λ^{sb} of the chosen emergency type).
+    ///
+    /// Returns an action when the overload trigger fires and the cooldown
+    /// has elapsed.
+    pub fn observe(
+        &mut self,
+        now: u64,
+        observed_rate: f64,
+        planned_capacity: f64,
+        per_instance_rate: f64,
+    ) -> Option<ReactiveAction> {
+        if per_instance_rate <= 0.0 || observed_rate <= 0.0 {
+            return None;
+        }
+        if planned_capacity > 0.0 && observed_rate <= self.cfg.trigger_ratio * planned_capacity {
+            return None;
+        }
+        if let Some(last) = self.last_fired {
+            if now.saturating_sub(last) < self.cfg.cooldown_secs {
+                return None;
+            }
+        }
+        let deficit = (observed_rate * self.cfg.headroom - planned_capacity).max(0.0);
+        let extra = (deficit / per_instance_rate).ceil() as u32;
+        let extra = extra.clamp(1, self.cfg.max_burst_instances);
+        self.last_fired = Some(now);
+        self.reactions += 1;
+        Some(ReactiveAction {
+            extra_instances: extra,
+            at: now,
+        })
+    }
+
+    /// Resets the cooldown (a new predictive plan has absorbed the level).
+    pub fn absorb(&mut self) {
+        self.last_fired = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> ReactiveController {
+        ReactiveController::with_defaults()
+    }
+
+    #[test]
+    fn no_reaction_within_plan() {
+        let mut c = ctl();
+        assert!(c.observe(0, 90_000.0, 100_000.0, 10_000.0).is_none());
+        // Right at the trigger boundary: still no reaction.
+        assert!(c.observe(1, 110_000.0, 100_000.0, 10_000.0).is_none());
+        assert_eq!(c.reactions(), 0);
+    }
+
+    #[test]
+    fn flash_crowd_triggers_sized_reaction() {
+        let mut c = ctl();
+        // 3x flash crowd against 100k capacity.
+        let a = c
+            .observe(10, 300_000.0, 100_000.0, 10_000.0)
+            .expect("reaction");
+        // Deficit = 300k*1.25 - 100k = 275k → 28 instances.
+        assert_eq!(a.extra_instances, 28);
+        assert_eq!(a.at, 10);
+        assert_eq!(c.reactions(), 1);
+    }
+
+    #[test]
+    fn cooldown_suppresses_repeat_fire() {
+        let mut c = ctl();
+        assert!(c.observe(10, 300_000.0, 100_000.0, 10_000.0).is_some());
+        assert!(c.observe(60, 300_000.0, 100_000.0, 10_000.0).is_none());
+        assert!(c
+            .observe(10 + 300, 300_000.0, 100_000.0, 10_000.0)
+            .is_some());
+        assert_eq!(c.reactions(), 2);
+    }
+
+    #[test]
+    fn absorb_clears_cooldown() {
+        let mut c = ctl();
+        assert!(c.observe(10, 300_000.0, 100_000.0, 10_000.0).is_some());
+        c.absorb();
+        assert!(c.observe(11, 300_000.0, 100_000.0, 10_000.0).is_some());
+    }
+
+    #[test]
+    fn burst_cap_limits_reaction() {
+        let mut c = ctl();
+        let a = c.observe(0, 10_000_000.0, 100_000.0, 10_000.0).unwrap();
+        assert_eq!(a.extra_instances, 64);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_ignored() {
+        let mut c = ctl();
+        assert!(c.observe(0, 0.0, 100_000.0, 10_000.0).is_none());
+        assert!(c.observe(0, 300_000.0, 100_000.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_always_triggers() {
+        let mut c = ctl();
+        let a = c.observe(0, 50_000.0, 0.0, 10_000.0).unwrap();
+        assert_eq!(a.extra_instances, 7); // ceil(62.5k / 10k)
+    }
+}

@@ -1,0 +1,552 @@
+//! A dense two-phase primal simplex solver for small linear programs.
+//!
+//! Solves `min c·x` subject to `A x {≤,=,≥} b`, `x ≥ 0`. The paper's
+//! procurement problem has a few dozen variables and constraints, far below
+//! anything that needs a sparse or revised implementation; a dense tableau
+//! with Bland's anti-cycling rule is simple, exact, and easy to audit.
+
+/// Relation of a constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `coeffs · x ≤ rhs`.
+    Le,
+    /// `coeffs · x = rhs`.
+    Eq,
+    /// `coeffs · x ≥ rhs`.
+    Ge,
+}
+
+/// One linear constraint.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficients over the structural variables.
+    pub coeffs: Vec<f64>,
+    /// Relation.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Builds a `≤` constraint.
+    pub fn le(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self {
+            coeffs,
+            rel: Rel::Le,
+            rhs,
+        }
+    }
+
+    /// Builds an `=` constraint.
+    pub fn eq(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self {
+            coeffs,
+            rel: Rel::Eq,
+            rhs,
+        }
+    }
+
+    /// Builds a `≥` constraint.
+    pub fn ge(coeffs: Vec<f64>, rhs: f64) -> Self {
+        Self {
+            coeffs,
+            rel: Rel::Ge,
+            rhs,
+        }
+    }
+}
+
+/// A linear program: `min objective · x` s.t. constraints, `x ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use spotcache_optimizer::simplex::{Constraint, LinearProgram};
+///
+/// // min x + 2y  s.t.  x + y >= 4,  x <= 3.
+/// let lp = LinearProgram::minimize(vec![1.0, 2.0])
+///     .subject_to(Constraint::ge(vec![1.0, 1.0], 4.0))
+///     .subject_to(Constraint::le(vec![1.0, 0.0], 3.0));
+/// let sol = lp.solve().unwrap();
+/// assert!((sol.objective - 5.0).abs() < 1e-6); // x = 3, y = 1
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients (minimization).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// A solved program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal structural variable values.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// A constraint row's width does not match the objective's.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible linear program"),
+            LpError::Unbounded => write!(f, "unbounded linear program"),
+            LpError::DimensionMismatch => write!(f, "constraint width mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// Creates a program minimizing `objective · x`.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Self {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn subject_to(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Solves the program with the two-phase simplex method.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        let n = self.objective.len();
+        for c in &self.constraints {
+            if c.coeffs.len() != n {
+                return Err(LpError::DimensionMismatch);
+            }
+        }
+        let m = self.constraints.len();
+
+        // Column layout: [structural(n) | slack/surplus(m, some unused) |
+        // artificial(m, some unused) | rhs].
+        let slack0 = n;
+        let art0 = n + m;
+        let width = n + 2 * m + 1;
+        let rhs_col = width - 1;
+
+        let mut tab = vec![vec![0.0f64; width]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut art_used = vec![false; m];
+
+        for (i, c) in self.constraints.iter().enumerate() {
+            // Row equilibration: divide each row by its largest structural
+            // coefficient so rows with ops/sec-scale numbers (1e5) and
+            // fraction-scale numbers (1e-1) pivot against comparable
+            // magnitudes. The feasible set is unchanged.
+            let row_scale = c
+                .coeffs
+                .iter()
+                .fold(0.0f64, |m, &a| m.max(a.abs()))
+                .max(1e-12);
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 } / row_scale;
+            for (j, &a) in c.coeffs.iter().enumerate() {
+                tab[i][j] = sign * a;
+            }
+            tab[i][rhs_col] = sign * c.rhs;
+            let rel = match (c.rel, flip) {
+                (Rel::Le, false) | (Rel::Ge, true) => Rel::Le,
+                (Rel::Ge, false) | (Rel::Le, true) => Rel::Ge,
+                (Rel::Eq, _) => Rel::Eq,
+            };
+            match rel {
+                Rel::Le => {
+                    tab[i][slack0 + i] = 1.0;
+                    basis[i] = slack0 + i;
+                }
+                Rel::Ge => {
+                    tab[i][slack0 + i] = -1.0; // surplus
+                    tab[i][art0 + i] = 1.0;
+                    basis[i] = art0 + i;
+                    art_used[i] = true;
+                }
+                Rel::Eq => {
+                    tab[i][art0 + i] = 1.0;
+                    basis[i] = art0 + i;
+                    art_used[i] = true;
+                }
+            }
+        }
+
+        // Phase 1: minimize the sum of artificials. Artificial columns are
+        // barred from entering (they start basic and only ever leave).
+        if art_used.iter().any(|&u| u) {
+            let mut cost = vec![0.0f64; width];
+            for i in 0..m {
+                if art_used[i] {
+                    cost[art0 + i] = 1.0;
+                }
+            }
+            let obj = run_simplex(&mut tab, &mut basis, &cost, art0, rhs_col)?;
+            if obj > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Drive degenerately-basic artificials out; a row whose
+            // artificial cannot leave (all real coefficients zero) is a
+            // redundant constraint and is deleted outright. Leaving such a
+            // row in with a big-M cost would contaminate phase-2 reduced
+            // costs with `1e30 × (numerical noise)` and corrupt the
+            // solution.
+            let mut i = 0;
+            while i < tab.len() {
+                if basis[i] >= art0 {
+                    if let Some(j) = (0..art0).find(|&j| tab[i][j].abs() > 1e-7) {
+                        pivot(&mut tab, &mut basis, i, j, rhs_col);
+                        i += 1;
+                    } else {
+                        tab.remove(i);
+                        basis.remove(i);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Phase 2: original objective; artificial columns are all non-basic
+        // now and remain barred from entering.
+        let mut cost = vec![0.0f64; width];
+        cost[..n].copy_from_slice(&self.objective);
+        let objective = run_simplex(&mut tab, &mut basis, &cost, art0, rhs_col)?;
+
+        let mut x = vec![0.0f64; n];
+        for (i, &b) in basis.iter().enumerate() {
+            if b < n {
+                x[b] = tab[i][rhs_col];
+            }
+        }
+        Ok(LpSolution { x, objective })
+    }
+}
+
+/// Runs primal simplex on the tableau, returning the optimal objective.
+///
+/// Only columns `< col_limit` may enter the basis (used to bar artificial
+/// columns in both phases).
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    cost: &[f64],
+    col_limit: usize,
+    rhs_col: usize,
+) -> Result<f64, LpError> {
+    let m = tab.len();
+    let ncols = col_limit;
+    let max_iters = 50 * (m + rhs_col).max(100);
+    // Dantzig's rule (most negative reduced cost) with a stability-first
+    // leaving rule gives well-conditioned pivots; after a generous budget
+    // we switch to Bland's rule, which provably terminates.
+    let bland_after = max_iters / 2;
+    for iter in 0..max_iters {
+        let bland = iter >= bland_after;
+        // Reduced costs: r_j = c_j - c_B · B^{-1} A_j (tableau is already
+        // B^{-1}A, so r_j = c_j - Σ_i c_{basis_i} tab[i][j]).
+        let mut entering = None;
+        let mut best_r = -1e-7;
+        for j in 0..ncols {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = cost[j];
+            for i in 0..m {
+                r -= cost[basis[i]] * tab[i][j];
+            }
+            if r < best_r {
+                entering = Some(j);
+                if bland {
+                    break; // first eligible column (Bland)
+                }
+                best_r = r; // most negative (Dantzig)
+            }
+        }
+        let Some(j) = entering else {
+            let mut obj = 0.0;
+            for i in 0..m {
+                obj += cost[basis[i]] * tab[i][rhs_col];
+            }
+            return Ok(obj);
+        };
+        // Ratio test. Every strictly positive coefficient participates:
+        // excluding "tiny" ones from the test while still updating their
+        // rows would let a large step drive those rows' right-hand sides
+        // negative — a silent feasibility corruption. Among (near-)tied
+        // ratios, prefer the largest pivot element for numerical stability
+        // (or the smallest basis index under Bland's rule).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if tab[i][j] > 1e-12 {
+                let ratio = (tab[i][rhs_col] / tab[i][j]).max(0.0);
+                let better = match leave {
+                    None => true,
+                    Some(l) => {
+                        if ratio < best - EPS {
+                            true
+                        } else if ratio < best + EPS {
+                            if bland {
+                                basis[i] < basis[l]
+                            } else {
+                                tab[i][j] > tab[l][j]
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if better {
+                    best = ratio.min(best);
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(tab, basis, i, j, rhs_col);
+    }
+    // Bland's rule guarantees termination; reaching here means numerics
+    // broke down badly enough to cycle, which we surface as unboundedness
+    // of effort rather than looping forever.
+    Err(LpError::Unbounded)
+}
+
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_col: usize) {
+    let p = tab[row][col];
+    for v in tab[row].iter_mut() {
+        *v /= p;
+    }
+    let pivot_row = tab[row].clone();
+    for (i, r) in tab.iter_mut().enumerate() {
+        if i == row {
+            continue;
+        }
+        let f = r[col];
+        if f.abs() < EPS {
+            continue;
+        }
+        for (v, &pv) in r[..=rhs_col].iter_mut().zip(&pivot_row) {
+            *v -= f * pv;
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximization_as_min() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), 36.
+        let lp = LinearProgram::minimize(vec![-3.0, -5.0])
+            .subject_to(Constraint::le(vec![1.0, 0.0], 4.0))
+            .subject_to(Constraint::le(vec![0.0, 2.0], 12.0))
+            .subject_to(Constraint::le(vec![3.0, 2.0], 18.0));
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // min x + 2y s.t. x + y = 10, x >= 3 → (10, 0)? x=10,y=0 satisfies
+        // x>=3, cost 10. Optimum.
+        let lp = LinearProgram::minimize(vec![1.0, 2.0])
+            .subject_to(Constraint::eq(vec![1.0, 1.0], 10.0))
+            .subject_to(Constraint::ge(vec![1.0, 0.0], 3.0));
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 10.0);
+        assert_close(s.x[0], 10.0);
+    }
+
+    #[test]
+    fn diet_style_problem() {
+        // min 0.5a + 0.8b s.t. a + 2b >= 8, 3a + b >= 9 → intersection
+        // a=2, b=3, cost 3.4.
+        let lp = LinearProgram::minimize(vec![0.5, 0.8])
+            .subject_to(Constraint::ge(vec![1.0, 2.0], 8.0))
+            .subject_to(Constraint::ge(vec![3.0, 1.0], 9.0));
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 3.4);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let lp = LinearProgram::minimize(vec![1.0])
+            .subject_to(Constraint::le(vec![1.0], 1.0))
+            .subject_to(Constraint::ge(vec![1.0], 2.0));
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LinearProgram::minimize(vec![-1.0]).subject_to(Constraint::ge(vec![1.0], 0.0));
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -2 with x,y >= 0 → y >= x + 2. min y → x=0, y=2.
+        let lp = LinearProgram::minimize(vec![0.0, 1.0])
+            .subject_to(Constraint::le(vec![1.0, -1.0], -2.0));
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let lp = LinearProgram::minimize(vec![1.0, 1.0]).subject_to(Constraint::le(vec![1.0], 1.0));
+        assert_eq!(lp.solve().unwrap_err(), LpError::DimensionMismatch);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let lp = LinearProgram::minimize(vec![-1.0, -1.0])
+            .subject_to(Constraint::le(vec![1.0, 0.0], 1.0))
+            .subject_to(Constraint::le(vec![0.0, 1.0], 1.0))
+            .subject_to(Constraint::le(vec![1.0, 1.0], 2.0))
+            .subject_to(Constraint::le(vec![2.0, 2.0], 4.0));
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, -2.0);
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // min x+y+z s.t. x+y=4, y+z=3, x,z free-ish → y=3? x+y=4,y+z=3:
+        // cost = x+y+z = (4-y)+y+(3-y) = 7-y, maximize y; y<=3 (z>=0),
+        // y<=4 (x>=0) → y=3, cost 4.
+        let lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0])
+            .subject_to(Constraint::eq(vec![1.0, 1.0, 0.0], 4.0))
+            .subject_to(Constraint::eq(vec![0.0, 1.0, 1.0], 3.0));
+        let s = lp.solve().unwrap();
+        assert_close(s.objective, 4.0);
+        assert_close(s.x[1], 3.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_do_not_corrupt_phase2() {
+        // Two identical equalities leave one artificial basic at zero with
+        // an all-zero row after phase 1. The old big-M treatment let its
+        // huge cost contaminate phase-2 reduced costs; the row must instead
+        // be dropped and the optimum still found.
+        let lp = LinearProgram::minimize(vec![1.0, 2.0, 3.0])
+            .subject_to(Constraint::eq(vec![1.0, 1.0, 0.0], 4.0))
+            .subject_to(Constraint::eq(vec![2.0, 2.0, 0.0], 8.0)) // redundant
+            .subject_to(Constraint::ge(vec![0.0, 1.0, 1.0], 1.0));
+        let s = lp.solve().unwrap();
+        // Optimum: x = 3, y = 1, z = 0 → objective 5.
+        assert_close(s.x[0] + s.x[1], 4.0);
+        assert!(s.x[1] + s.x[2] >= 1.0 - 1e-9);
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn zero_rhs_equality() {
+        // min x s.t. x - y = 0, y >= 5 → x = 5.
+        let lp = LinearProgram::minimize(vec![1.0, 0.0])
+            .subject_to(Constraint::eq(vec![1.0, -1.0], 0.0))
+            .subject_to(Constraint::ge(vec![0.0, 1.0], 5.0));
+        let s = lp.solve().unwrap();
+        assert_close(s.x[0], 5.0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig { cases: 64, ..Default::default() })]
+
+        /// On random bounded-feasible LPs the solver (a) returns a point
+        /// satisfying every constraint and (b) is at least as good as a
+        /// cloud of random feasible points.
+        #[test]
+        fn random_lps_are_solved_optimally(
+            n in 2usize..5,
+            costs in proptest::collection::vec(-5.0f64..5.0, 5),
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(0.1f64..3.0, 5), 1.0f64..20.0), 1..5),
+            seeds in proptest::collection::vec(0.0f64..1.0, 32),
+        ) {
+            use proptest::prelude::*;
+            let obj: Vec<f64> = costs[..n].to_vec();
+            // Box constraints keep it bounded: x_i <= 10.
+            let mut lp = LinearProgram::minimize(obj.clone());
+            for i in 0..n {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                lp = lp.subject_to(Constraint::le(row, 10.0));
+            }
+            // Positive-coefficient <= rows are always feasible at x = 0.
+            for (coeffs, rhs) in &rows {
+                lp = lp.subject_to(Constraint::le(coeffs[..n].to_vec(), *rhs));
+            }
+            let sol = lp.solve().expect("bounded feasible LP");
+            // (a) feasibility
+            for c in &lp.constraints {
+                let lhs: f64 = c.coeffs.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+                prop_assert!(lhs <= c.rhs + 1e-6, "violated: {lhs} > {}", c.rhs);
+            }
+            prop_assert!(sol.x.iter().all(|&x| x >= -1e-9));
+            // (b) no random feasible point beats it
+            for chunk in seeds.chunks(n) {
+                if chunk.len() < n { break; }
+                let mut x: Vec<f64> = chunk.iter().map(|&u| u * 10.0).collect();
+                // Scale down until feasible for every extra row.
+                for (coeffs, rhs) in &rows {
+                    let lhs: f64 = coeffs[..n].iter().zip(&x).map(|(a, v)| a * v).sum();
+                    if lhs > *rhs {
+                        let scale = rhs / lhs;
+                        for v in &mut x {
+                            *v *= scale;
+                        }
+                    }
+                }
+                let val: f64 = obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+                prop_assert!(sol.objective <= val + 1e-6,
+                    "random point {val} beats simplex {}", sol.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn solution_satisfies_all_constraints() {
+        // A slightly bigger random-ish LP; verify feasibility of the result.
+        let lp = LinearProgram::minimize(vec![2.0, 3.0, 1.5, 4.0])
+            .subject_to(Constraint::ge(vec![1.0, 1.0, 0.0, 0.0], 5.0))
+            .subject_to(Constraint::ge(vec![0.0, 1.0, 1.0, 1.0], 7.0))
+            .subject_to(Constraint::le(vec![1.0, 0.0, 0.0, 1.0], 9.0))
+            .subject_to(Constraint::eq(vec![1.0, 0.0, 1.0, 0.0], 6.0));
+        let s = lp.solve().unwrap();
+        let x = &s.x;
+        assert!(x.iter().all(|&v| v >= -1e-9));
+        assert!(x[0] + x[1] >= 5.0 - 1e-6);
+        assert!(x[1] + x[2] + x[3] >= 7.0 - 1e-6);
+        assert!(x[0] + x[3] <= 9.0 + 1e-6);
+        assert!((x[0] + x[2] - 6.0).abs() < 1e-6);
+    }
+}

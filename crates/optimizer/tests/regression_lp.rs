@@ -1,0 +1,51 @@
+//! Regression test: a procurement-relaxation LP captured from a 90-day
+//! simulation where the simplex once returned an infeasible "optimum"
+//! (big-M contamination / degenerate-pivot fallout). The solver must
+//! return a point satisfying every constraint.
+
+use spotcache_optimizer::simplex::{Constraint, LinearProgram, Rel};
+
+fn load(tsv: &str) -> LinearProgram {
+    let mut lines = tsv.lines();
+    let head = lines.next().expect("objective line");
+    let mut fields = head.split('\t');
+    assert_eq!(fields.next(), Some("min"));
+    let objective: Vec<f64> = fields.map(|v| v.parse().unwrap()).collect();
+    let mut lp = LinearProgram::minimize(objective);
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let rel = match fields.next().unwrap() {
+            "le" => Rel::Le,
+            "ge" => Rel::Ge,
+            "eq" => Rel::Eq,
+            other => panic!("bad rel {other}"),
+        };
+        let rhs: f64 = fields.next().unwrap().parse().unwrap();
+        let coeffs: Vec<f64> = fields.map(|v| v.parse().unwrap()).collect();
+        lp = lp.subject_to(Constraint { coeffs, rel, rhs });
+    }
+    lp
+}
+
+#[test]
+fn captured_procurement_lp_solves_feasibly() {
+    let lp = load(include_str!("data_fail_lp.tsv"));
+    let sol = lp.solve().expect("the LP is feasible");
+    for (i, con) in lp.constraints.iter().enumerate() {
+        let lhs: f64 = con.coeffs.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+        let ok = match con.rel {
+            Rel::Le => lhs <= con.rhs + 1e-5,
+            Rel::Ge => lhs >= con.rhs - 1e-5,
+            Rel::Eq => (lhs - con.rhs).abs() <= 1e-5,
+        };
+        assert!(
+            ok,
+            "constraint {i} violated: lhs {lhs}, rhs {} ({:?})",
+            con.rhs, con.rel
+        );
+    }
+    assert!(sol.x.iter().all(|&v| v >= -1e-9), "negative variable");
+}

@@ -1,0 +1,179 @@
+//! Single-key hotspot mitigation: replicate the very hottest keys on every
+//! node.
+//!
+//! Consistent hashing places each key on exactly one node, so a key that
+//! alone carries a meaningful share of traffic (at Zipf 2.0 the top handful
+//! of keys carry most of it) turns one node into a hotspot no weight
+//! assignment can fix. The standard remedy — used by production memcache
+//! fleets and assumed implicitly by the paper's "weights evenly
+//! distributed" step — is to replicate the top-K keys on *all* serving
+//! nodes and spray their reads.
+//!
+//! [`HotReplicaSet`] maintains the top-K keys by windowed access count
+//! (exact counts over a small candidate set fed by the count-min sketch's
+//! estimates) and answers: is this key replicated, and which node should
+//! this particular read go to (round-robin over the live set)?
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::hashring::NodeId;
+
+/// Tracker of the top-K replicated keys.
+#[derive(Debug)]
+pub struct HotReplicaSet {
+    /// Capacity K.
+    k: usize,
+    /// Windowed access counts of candidate keys.
+    counts: HashMap<Vec<u8>, u64>,
+    /// Current replicated set (the top-K of `counts` as of the last
+    /// refresh).
+    replicated: Vec<Vec<u8>>,
+    /// Round-robin cursor for spraying reads.
+    cursor: AtomicUsize,
+    /// Only keys with at least this many windowed accesses are candidates
+    /// (keeps the candidate map small under long-tailed traffic).
+    candidate_floor: u64,
+}
+
+impl HotReplicaSet {
+    /// Creates a tracker replicating at most `k` keys; keys become
+    /// candidates after `candidate_floor` accesses in a window.
+    pub fn new(k: usize, candidate_floor: u64) -> Self {
+        Self {
+            k,
+            counts: HashMap::new(),
+            replicated: Vec::new(),
+            cursor: AtomicUsize::new(0),
+            candidate_floor: candidate_floor.max(1),
+        }
+    }
+
+    /// Records an access with the partitioner's estimated windowed count.
+    ///
+    /// Cheap: only keys past the candidate floor are tracked exactly.
+    pub fn observe(&mut self, key: &[u8], estimated_count: u64) {
+        if estimated_count >= self.candidate_floor {
+            *self.counts.entry(key.to_vec()).or_insert(0) += 1;
+        }
+    }
+
+    /// Rebuilds the replicated set from the current window and ages the
+    /// counts (call once per control slot, alongside the partitioner's
+    /// refresh).
+    pub fn refresh(&mut self) {
+        let mut ranked: Vec<(&Vec<u8>, &u64)> = self.counts.iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        self.replicated = ranked
+            .into_iter()
+            .take(self.k)
+            .map(|(k, _)| k.clone())
+            .collect();
+        // Age: halve and drop the faded.
+        self.counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+    }
+
+    /// Whether `key` is currently replicated everywhere.
+    pub fn is_replicated(&self, key: &[u8]) -> bool {
+        self.replicated.iter().any(|k| k == key)
+    }
+
+    /// The replicated keys (for the write fan-out path, which must update
+    /// every copy).
+    pub fn replicated_keys(&self) -> &[Vec<u8>] {
+        &self.replicated
+    }
+
+    /// Picks a serving node for a replicated key's read: round-robin over
+    /// `nodes`. Returns `None` when `nodes` is empty.
+    pub fn route_read(&self, nodes: &[NodeId]) -> Option<NodeId> {
+        if nodes.is_empty() {
+            return None;
+        }
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        Some(nodes[i % nodes.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observe_n(set: &mut HotReplicaSet, key: &[u8], n: u64) {
+        for i in 0..n {
+            set.observe(key, i + 1);
+        }
+    }
+
+    #[test]
+    fn top_k_selection() {
+        let mut s = HotReplicaSet::new(2, 1);
+        observe_n(&mut s, b"a", 100);
+        observe_n(&mut s, b"b", 50);
+        observe_n(&mut s, b"c", 10);
+        s.refresh();
+        assert!(s.is_replicated(b"a"));
+        assert!(s.is_replicated(b"b"));
+        assert!(!s.is_replicated(b"c"));
+        assert_eq!(s.replicated_keys().len(), 2);
+    }
+
+    #[test]
+    fn candidate_floor_filters_the_tail() {
+        let mut s = HotReplicaSet::new(4, 50);
+        // 1000 cold keys whose estimates never reach the floor.
+        for i in 0..1000u32 {
+            s.observe(&i.to_be_bytes(), 3);
+        }
+        assert!(s.counts.is_empty(), "tail keys never tracked");
+        s.observe(b"hot", 60);
+        s.refresh();
+        assert!(s.is_replicated(b"hot"));
+    }
+
+    #[test]
+    fn refresh_ages_out_cooled_keys() {
+        let mut s = HotReplicaSet::new(1, 1);
+        observe_n(&mut s, b"old", 8);
+        s.refresh();
+        assert!(s.is_replicated(b"old"));
+        // New contender while "old" stops being accessed.
+        observe_n(&mut s, b"new", 100);
+        s.refresh();
+        assert!(s.is_replicated(b"new"));
+        assert!(!s.is_replicated(b"old"));
+        // Full decay removes the entry entirely.
+        for _ in 0..8 {
+            s.refresh();
+        }
+        assert!(!s.counts.contains_key(b"old".as_slice()));
+    }
+
+    #[test]
+    fn round_robin_spreads_reads() {
+        let s = HotReplicaSet::new(1, 1);
+        let nodes = [10u64, 20, 30];
+        let mut hits = HashMap::new();
+        for _ in 0..300 {
+            *hits.entry(s.route_read(&nodes).unwrap()).or_insert(0u32) += 1;
+        }
+        for n in nodes {
+            assert_eq!(hits[&n], 100, "node {n} share");
+        }
+        assert_eq!(s.route_read(&[]), None);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut s = HotReplicaSet::new(1, 1);
+        observe_n(&mut s, b"xx", 10);
+        observe_n(&mut s, b"aa", 10);
+        s.refresh();
+        // Equal counts: lexicographically smaller key wins, always.
+        assert!(s.is_replicated(b"aa"));
+        assert!(!s.is_replicated(b"xx"));
+    }
+}

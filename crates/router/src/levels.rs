@@ -1,0 +1,263 @@
+//! Multi-level popularity classification (the paper's footnote-3
+//! generalization of hot/cold).
+//!
+//! The two-level scheme annotates keys `h`/`c`; the paper notes it "is
+//! also possible to consider more levels of popularity than just two as we
+//! do. Our formulation easily extends to incorporate these." This module
+//! provides that extension: keys are classified into `n` tiers by windowed
+//! access frequency against a descending threshold ladder, each tier gets
+//! its own prefix digit and its own weighted consistent-hash ring, and the
+//! whole thing degrades to exactly the hot/cold behaviour at `n = 2`.
+
+use crate::hashring::{HashRing, NodeId};
+use crate::sketch::{BloomFilter, CountMinSketch};
+
+/// Maximum supported tiers (prefix digits `'0'..='9'`).
+pub const MAX_LEVELS: usize = 10;
+
+/// An `n`-tier frequency classifier (tier 0 = hottest).
+#[derive(Debug, Clone)]
+pub struct MultiLevelPartitioner {
+    sketch: CountMinSketch,
+    /// Descending access-count thresholds; `thresholds[i]` qualifies a key
+    /// for tier `i`. Keys below the last threshold land in the coldest
+    /// tier `thresholds.len()`.
+    thresholds: Vec<u64>,
+    /// Membership filter per non-coldest tier.
+    filters: Vec<BloomFilter>,
+    expected_keys: usize,
+}
+
+impl MultiLevelPartitioner {
+    /// Creates a classifier with the given descending threshold ladder.
+    ///
+    /// `thresholds.len() + 1` tiers result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, not strictly descending, or would
+    /// exceed [`MAX_LEVELS`] tiers.
+    pub fn new(expected_keys: usize, thresholds: Vec<u64>) -> Self {
+        assert!(!thresholds.is_empty(), "need at least one threshold");
+        assert!(thresholds.len() < MAX_LEVELS, "too many tiers");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] > w[1]) && *thresholds.last().unwrap() > 0,
+            "thresholds must be strictly descending and positive"
+        );
+        let filters = thresholds
+            .iter()
+            .map(|_| BloomFilter::for_keys(expected_keys / 10 + 64))
+            .collect();
+        Self {
+            sketch: CountMinSketch::for_keys(expected_keys),
+            thresholds,
+            filters,
+            expected_keys,
+        }
+    }
+
+    /// Number of tiers.
+    pub fn levels(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    /// Records an access, promoting the key through any tier whose
+    /// threshold its windowed count now clears.
+    pub fn observe(&mut self, key: &[u8]) {
+        self.sketch.observe(key);
+        let count = self.sketch.estimate(key);
+        for (i, &th) in self.thresholds.iter().enumerate() {
+            if count >= th && !self.filters[i].contains(key) {
+                self.filters[i].insert(key);
+            }
+        }
+    }
+
+    /// The key's tier (0 = hottest, `levels() - 1` = coldest).
+    pub fn level(&self, key: &[u8]) -> usize {
+        for (i, f) in self.filters.iter().enumerate() {
+            if f.contains(key) {
+                return i;
+            }
+        }
+        self.levels() - 1
+    }
+
+    /// Annotates a key with its tier digit (`'0'..`).
+    pub fn annotate(&self, key: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(key.len() + 1);
+        out.push(b'0' + self.level(key) as u8);
+        out.extend_from_slice(key);
+        out
+    }
+
+    /// Ages the sketch and clears the tier filters (keys re-qualify from
+    /// their halved counts on subsequent accesses).
+    pub fn refresh(&mut self) {
+        self.sketch.decay();
+        for f in &mut self.filters {
+            *f = BloomFilter::for_keys(self.expected_keys / 10 + 64);
+        }
+    }
+
+    /// Estimated windowed access count.
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        self.sketch.estimate(key)
+    }
+}
+
+/// Strips a tier prefix from an annotated key.
+pub fn strip_level(key: &[u8]) -> Option<(usize, &[u8])> {
+    let (&first, rest) = key.split_first()?;
+    if first.is_ascii_digit() {
+        Some(((first - b'0') as usize, rest))
+    } else {
+        None
+    }
+}
+
+/// One consistent-hash ring per tier over a shared node set.
+#[derive(Debug, Clone, Default)]
+pub struct MultiLevelRouter {
+    rings: Vec<HashRing>,
+}
+
+impl MultiLevelRouter {
+    /// Builds the router from per-tier weight tables.
+    pub fn new(per_level_weights: &[Vec<(NodeId, f64)>]) -> Self {
+        Self {
+            rings: per_level_weights
+                .iter()
+                .map(|w| HashRing::build(w))
+                .collect(),
+        }
+    }
+
+    /// Number of tiers.
+    pub fn levels(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Routes a raw key within a tier.
+    pub fn route(&self, level: usize, raw_key: &[u8]) -> Option<NodeId> {
+        self.rings.get(level)?.lookup(raw_key)
+    }
+
+    /// Routes an annotated key (`<digit><raw>`).
+    pub fn route_annotated(&self, key: &[u8]) -> Option<NodeId> {
+        let (level, raw) = strip_level(key)?;
+        self.route(level, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_tier() -> MultiLevelPartitioner {
+        MultiLevelPartitioner::new(10_000, vec![100, 10])
+    }
+
+    #[test]
+    fn classification_ladder() {
+        let mut p = three_tier();
+        assert_eq!(p.levels(), 3);
+        for _ in 0..150 {
+            p.observe(b"scorching");
+        }
+        for _ in 0..20 {
+            p.observe(b"warm");
+        }
+        p.observe(b"cold");
+        assert_eq!(p.level(b"scorching"), 0);
+        assert_eq!(p.level(b"warm"), 1);
+        assert_eq!(p.level(b"cold"), 2);
+        assert_eq!(p.level(b"never-seen"), 2);
+    }
+
+    #[test]
+    fn annotation_uses_tier_digits() {
+        let mut p = three_tier();
+        for _ in 0..150 {
+            p.observe(b"k");
+        }
+        assert_eq!(p.annotate(b"k")[0], b'0');
+        assert_eq!(p.annotate(b"x")[0], b'2');
+        let ann = p.annotate(b"k");
+        let (lvl, raw) = strip_level(&ann).unwrap();
+        assert_eq!(lvl, 0);
+        assert_eq!(raw, b"k");
+        assert!(strip_level(b"hkey").is_none());
+    }
+
+    #[test]
+    fn refresh_demotes_through_tiers() {
+        let mut p = three_tier();
+        for _ in 0..150 {
+            p.observe(b"k");
+        }
+        assert_eq!(p.level(b"k"), 0);
+        p.refresh(); // count 75
+        p.observe(b"k"); // 76: tier 1 (>= 10, < 100)
+        assert_eq!(p.level(b"k"), 1);
+        for _ in 0..3 {
+            p.refresh();
+        }
+        p.observe(b"k"); // ~10: still tier 1
+        p.refresh();
+        p.refresh();
+        p.observe(b"k");
+        assert_eq!(p.level(b"k"), 2, "fully cooled");
+    }
+
+    #[test]
+    fn two_tier_ladder_matches_hot_cold() {
+        let mut p = MultiLevelPartitioner::new(1_000, vec![5]);
+        for _ in 0..5 {
+            p.observe(b"popular");
+        }
+        p.observe(b"rare");
+        assert_eq!(p.level(b"popular"), 0);
+        assert_eq!(p.level(b"rare"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn non_descending_ladder_panics() {
+        MultiLevelPartitioner::new(100, vec![10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn empty_ladder_panics() {
+        MultiLevelPartitioner::new(100, vec![]);
+    }
+
+    #[test]
+    fn router_routes_per_tier() {
+        // Tier 0 on node 1, tier 1 split, tier 2 on node 3.
+        let r = MultiLevelRouter::new(&[vec![(1, 1.0)], vec![(1, 0.5), (2, 0.5)], vec![(3, 1.0)]]);
+        assert_eq!(r.levels(), 3);
+        assert_eq!(r.route(0, b"k"), Some(1));
+        assert_eq!(r.route(2, b"k"), Some(3));
+        assert!(matches!(r.route(1, b"k"), Some(1) | Some(2)));
+        assert_eq!(r.route(7, b"k"), None);
+        assert_eq!(r.route_annotated(b"2k"), Some(3));
+        assert_eq!(r.route_annotated(b"xk"), None);
+    }
+
+    #[test]
+    fn zipf_stream_fills_all_tiers() {
+        let mut p = MultiLevelPartitioner::new(100_000, vec![1_000, 50]);
+        // A crude skewed stream: key i accessed ~ 60000/i times.
+        for i in 1u64..=300 {
+            for _ in 0..(60_000 / (i * i)).max(1) {
+                p.observe(&i.to_be_bytes());
+            }
+        }
+        assert_eq!(p.level(&1u64.to_be_bytes()), 0);
+        let mid = p.level(&20u64.to_be_bytes());
+        assert_eq!(mid, 1, "rank 20 (~150 accesses) belongs in the middle tier");
+        assert_eq!(p.level(&300u64.to_be_bytes()), 2);
+    }
+}

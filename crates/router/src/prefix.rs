@@ -1,0 +1,154 @@
+//! Prefix routing into hot/cold virtual pools (paper Section 4.2).
+//!
+//! The key partitioner annotates keys with an `h` or `c` prefix; mcrouter's
+//! `PrefixRouting` then steers them into separate *virtual pools* that live
+//! on the same physical nodes but carry independent consistent-hash weights
+//! — hot/cold segregation without instance separation.
+
+use crate::hashring::{HashRing, NodeId};
+
+/// The two popularity pools.
+///
+/// The paper notes the scheme "can be easily generalized to additional
+/// popularity levels"; two levels are what the evaluation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pool {
+    /// The popular subset (accounts for ~90% of accesses).
+    Hot,
+    /// Everything else.
+    Cold,
+}
+
+impl Pool {
+    /// The key prefix byte for this pool.
+    pub fn prefix(&self) -> u8 {
+        match self {
+            Pool::Hot => b'h',
+            Pool::Cold => b'c',
+        }
+    }
+
+    /// Parses a pool from an annotated key's first byte.
+    pub fn from_prefix(b: u8) -> Option<Pool> {
+        match b {
+            b'h' => Some(Pool::Hot),
+            b'c' => Some(Pool::Cold),
+            _ => None,
+        }
+    }
+
+    /// Annotates a raw key with this pool's prefix.
+    pub fn annotate(&self, key: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(key.len() + 1);
+        out.push(self.prefix());
+        out.extend_from_slice(key);
+        out
+    }
+}
+
+/// Strips a pool prefix from an annotated key.
+///
+/// Returns `(pool, raw_key)`; `None` if the key carries no valid prefix.
+pub fn strip_prefix(key: &[u8]) -> Option<(Pool, &[u8])> {
+    let (&first, rest) = key.split_first()?;
+    Pool::from_prefix(first).map(|p| (p, rest))
+}
+
+/// Two virtual pools over one physical node set.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixRouter {
+    hot: HashRing,
+    cold: HashRing,
+}
+
+impl PrefixRouter {
+    /// Builds the router from per-node hot and cold weights.
+    pub fn new(hot_weights: &[(NodeId, f64)], cold_weights: &[(NodeId, f64)]) -> Self {
+        Self {
+            hot: HashRing::build(hot_weights),
+            cold: HashRing::build(cold_weights),
+        }
+    }
+
+    /// The ring serving a pool.
+    pub fn ring(&self, pool: Pool) -> &HashRing {
+        match pool {
+            Pool::Hot => &self.hot,
+            Pool::Cold => &self.cold,
+        }
+    }
+
+    /// Routes an *annotated* key (`h...`/`c...`) to its node.
+    ///
+    /// Returns `None` for unannotated keys or an empty target ring.
+    pub fn route_annotated(&self, key: &[u8]) -> Option<NodeId> {
+        let (pool, raw) = strip_prefix(key)?;
+        self.ring(pool).lookup(raw)
+    }
+
+    /// Routes a raw key within an explicit pool.
+    pub fn route(&self, pool: Pool, raw_key: &[u8]) -> Option<NodeId> {
+        self.ring(pool).lookup(raw_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotate_and_strip_roundtrip() {
+        let k = Pool::Hot.annotate(b"user:42");
+        assert_eq!(k[0], b'h');
+        let (pool, raw) = strip_prefix(&k).unwrap();
+        assert_eq!(pool, Pool::Hot);
+        assert_eq!(raw, b"user:42");
+        assert!(strip_prefix(b"xkey").is_none());
+        assert!(strip_prefix(b"").is_none());
+    }
+
+    #[test]
+    fn pools_route_independently() {
+        // Hot pool lives only on node 1, cold only on node 2 — the
+        // OD+Spot_Sep configuration.
+        let r = PrefixRouter::new(&[(1, 1.0)], &[(2, 1.0)]);
+        assert_eq!(r.route(Pool::Hot, b"k"), Some(1));
+        assert_eq!(r.route(Pool::Cold, b"k"), Some(2));
+    }
+
+    #[test]
+    fn mixing_weights_share_nodes() {
+        // Hot-cold mixing: both pools span both nodes with different
+        // weights.
+        let r = PrefixRouter::new(&[(1, 0.7), (2, 0.3)], &[(1, 0.2), (2, 0.8)]);
+        let mut hot1 = 0;
+        let mut cold1 = 0;
+        for i in 0..10_000u64 {
+            let k = i.to_be_bytes();
+            if r.route(Pool::Hot, &k) == Some(1) {
+                hot1 += 1;
+            }
+            if r.route(Pool::Cold, &k) == Some(1) {
+                cold1 += 1;
+            }
+        }
+        assert!((hot1 as f64 / 10_000.0 - 0.7).abs() < 0.08, "{hot1}");
+        assert!((cold1 as f64 / 10_000.0 - 0.2).abs() < 0.08, "{cold1}");
+    }
+
+    #[test]
+    fn route_annotated_dispatches_by_prefix() {
+        let r = PrefixRouter::new(&[(1, 1.0)], &[(2, 1.0)]);
+        assert_eq!(r.route_annotated(&Pool::Hot.annotate(b"k")), Some(1));
+        assert_eq!(r.route_annotated(&Pool::Cold.annotate(b"k")), Some(2));
+        assert_eq!(r.route_annotated(b"zk"), None);
+    }
+
+    #[test]
+    fn same_raw_key_may_live_in_both_pools_without_collision() {
+        // Prefixing keeps the namespaces disjoint even on shared nodes.
+        let hot = Pool::Hot.annotate(b"k");
+        let cold = Pool::Cold.annotate(b"k");
+        assert_ne!(hot, cold);
+    }
+}

@@ -1,0 +1,266 @@
+//! Frequency-sketch primitives: count-min sketch and Bloom filter.
+//!
+//! The paper's key partitioner "creates Bloom filters using access
+//! frequency-based heuristics"; we pair a count-min sketch (frequency
+//! estimation, overcount-only) with a Bloom filter (membership of the
+//! current hot set, no false negatives).
+
+use crate::hash64;
+
+/// A count-min sketch over byte-string keys.
+///
+/// Estimates are never *under* the true count; collisions only inflate
+/// them, so a frequency threshold classifies a superset of the truly-hot
+/// keys — the safe direction for hot/cold separation.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `depth` rows of `width` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be positive");
+        Self {
+            width,
+            depth,
+            counts: vec![0; width * depth],
+            total: 0,
+        }
+    }
+
+    /// A sketch sized for roughly `expected_keys` distinct keys with ~1%
+    /// relative error at the hot threshold.
+    pub fn for_keys(expected_keys: usize) -> Self {
+        let width = (expected_keys.max(64) * 2).next_power_of_two();
+        Self::new(width, 4)
+    }
+
+    /// Records one access to `key`.
+    pub fn observe(&mut self, key: &[u8]) {
+        self.observe_n(key, 1);
+    }
+
+    /// Records `n` accesses to `key`.
+    pub fn observe_n(&mut self, key: &[u8], n: u64) {
+        for row in 0..self.depth {
+            let idx = (hash64(row as u64, key) % self.width as u64) as usize;
+            self.counts[row * self.width + idx] += n;
+        }
+        self.total += n;
+    }
+
+    /// Estimated access count of `key` (never less than the true count).
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        (0..self.depth)
+            .map(|row| {
+                let idx = (hash64(row as u64, key) % self.width as u64) as usize;
+                self.counts[row * self.width + idx]
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Halves every counter — the standard aging step that makes the sketch
+    /// track a sliding exponential window of accesses.
+    pub fn decay(&mut self) {
+        for c in &mut self.counts {
+            *c /= 2;
+        }
+        self.total /= 2;
+    }
+
+    /// Zeroes the sketch.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
+/// A Bloom filter over byte-string keys (no false negatives).
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    hashes: u32,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits and `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` or `hashes` is zero.
+    pub fn new(num_bits: usize, hashes: u32) -> Self {
+        assert!(
+            num_bits > 0 && hashes > 0,
+            "bloom parameters must be positive"
+        );
+        Self {
+            bits: vec![0; num_bits.div_ceil(64)],
+            num_bits,
+            hashes,
+            inserted: 0,
+        }
+    }
+
+    /// A filter sized for `expected_keys` at ~1% false-positive rate
+    /// (≈9.6 bits/key, 7 hashes).
+    pub fn for_keys(expected_keys: usize) -> Self {
+        Self::new((expected_keys.max(64) * 10).next_power_of_two(), 7)
+    }
+
+    fn bit_positions(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        // Kirsch-Mitzenmacher double hashing.
+        let h1 = hash64(0x1111, key);
+        let h2 = hash64(0x2222, key) | 1;
+        let n = self.num_bits as u64;
+        (0..self.hashes).map(move |i| (h1.wrapping_add(h2.wrapping_mul(i as u64)) % n) as usize)
+    }
+
+    /// Inserts `key`.
+    pub fn insert(&mut self, key: &[u8]) {
+        let positions: Vec<usize> = self.bit_positions(key).collect();
+        for pos in positions {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether `key` *may* have been inserted (false positives possible,
+    /// false negatives impossible).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.bit_positions(key)
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Number of insert calls (not distinct keys).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sketch_counts_single_key() {
+        let mut s = CountMinSketch::new(1024, 4);
+        for _ in 0..100 {
+            s.observe(b"k");
+        }
+        assert_eq!(s.estimate(b"k"), 100);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn sketch_decay_halves() {
+        let mut s = CountMinSketch::new(1024, 4);
+        s.observe_n(b"k", 100);
+        s.decay();
+        assert_eq!(s.estimate(b"k"), 50);
+        s.clear();
+        assert_eq!(s.estimate(b"k"), 0);
+    }
+
+    #[test]
+    fn sketch_estimate_reasonably_tight() {
+        let mut s = CountMinSketch::for_keys(10_000);
+        for i in 0..10_000u32 {
+            s.observe(&i.to_be_bytes());
+        }
+        // True count is 1 per key; overcount should be tiny at this width.
+        let over = (0..10_000u32)
+            .filter(|i| s.estimate(&i.to_be_bytes()) > 2)
+            .count();
+        assert!(over < 100, "{over} keys overcounted past 2x");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        CountMinSketch::new(0, 4);
+    }
+
+    #[test]
+    fn bloom_no_false_negatives_small() {
+        let mut b = BloomFilter::for_keys(1000);
+        for i in 0..1000u32 {
+            b.insert(&i.to_be_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(b.contains(&i.to_be_bytes()));
+        }
+        assert_eq!(b.inserted(), 1000);
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_low() {
+        let mut b = BloomFilter::for_keys(1000);
+        for i in 0..1000u32 {
+            b.insert(&i.to_be_bytes());
+        }
+        let fp = (1_000_000..1_010_000u32)
+            .filter(|i| b.contains(&i.to_be_bytes()))
+            .count();
+        assert!(fp < 300, "false positive count {fp} out of 10000");
+    }
+
+    #[test]
+    fn bloom_clear_forgets() {
+        let mut b = BloomFilter::for_keys(100);
+        b.insert(b"k");
+        b.clear();
+        assert!(!b.contains(b"k"));
+        assert_eq!(b.inserted(), 0);
+    }
+
+    proptest! {
+        /// Count-min never undercounts.
+        #[test]
+        fn sketch_never_undercounts(keys in proptest::collection::vec(0u16..200, 1..500)) {
+            let mut s = CountMinSketch::new(64, 3); // deliberately tiny → collisions
+            let mut truth = std::collections::HashMap::new();
+            for k in &keys {
+                s.observe(&k.to_be_bytes());
+                *truth.entry(*k).or_insert(0u64) += 1;
+            }
+            for (k, &n) in &truth {
+                prop_assert!(s.estimate(&k.to_be_bytes()) >= n);
+            }
+        }
+
+        /// Bloom filters never produce false negatives.
+        #[test]
+        fn bloom_never_false_negative(keys in proptest::collection::vec(0u16..5000, 1..300)) {
+            let mut b = BloomFilter::new(256, 3); // tiny → many false positives, still no FN
+            for k in &keys {
+                b.insert(&k.to_be_bytes());
+            }
+            for k in &keys {
+                prop_assert!(b.contains(&k.to_be_bytes()));
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! A minimal discrete-event queue.
+//!
+//! Orders events by time with a stable FIFO tiebreak so simulations are
+//! deterministic regardless of insertion pattern.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    items: Vec<Option<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            items: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `item` at `time`.
+    pub fn push(&mut self, time: u64, item: T) {
+        let slot = self.items.len();
+        self.items.push(Some(item));
+        self.heap.push(Reverse((time, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest `(time, item)`.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let Reverse((time, _, slot)) = self.heap.pop()?;
+        let item = self.items[slot].take().expect("slot filled at push");
+        Some((time, item))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

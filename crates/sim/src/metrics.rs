@@ -1,0 +1,321 @@
+//! Latency histograms and performance-violation accounting.
+
+/// A geometric-bucket latency histogram over microseconds.
+///
+/// Buckets span 1 µs to 10 s with a constant ratio, giving ~2.7% relative
+/// quantile error — plenty for p95/p99 reporting.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: f64,
+    max_us: f64,
+}
+
+const NUM_BUCKETS: usize = 600;
+const MIN_US: f64 = 1.0;
+const MAX_US: f64 = 1e7;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0.0,
+            max_us: 0.0,
+        }
+    }
+
+    fn bucket_of(us: f64) -> usize {
+        let clamped = us.clamp(MIN_US, MAX_US);
+        let frac = (clamped / MIN_US).ln() / (MAX_US / MIN_US).ln();
+        ((frac * (NUM_BUCKETS - 1) as f64).round() as usize).min(NUM_BUCKETS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> f64 {
+        let frac = idx as f64 / (NUM_BUCKETS - 1) as f64;
+        MIN_US * (MAX_US / MIN_US).powf(frac)
+    }
+
+    /// Records one latency observation (µs).
+    pub fn record(&mut self, us: f64) {
+        self.record_n(us, 1);
+    }
+
+    /// Records `n` identical observations (µs).
+    pub fn record_n(&mut self, us: f64, n: u64) {
+        if n == 0 || !us.is_finite() || us < 0.0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(us)] += n;
+        self.count += n;
+        self.sum_us += us * n as f64;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (µs); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+
+    /// Maximum recorded latency (µs).
+    pub fn max(&self) -> f64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (µs); 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        Self::bucket_value(NUM_BUCKETS - 1)
+    }
+
+    /// Fraction of observations above `threshold_us`.
+    pub fn frac_above(&self, threshold_us: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let cut = Self::bucket_of(threshold_us);
+        let above: u64 = self.buckets[cut + 1..].iter().sum();
+        above as f64 / self.count as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Empties the histogram.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+        self.sum_us = 0.0;
+        self.max_us = 0.0;
+    }
+}
+
+/// Per-day performance-violation accounting (paper Figure 7's "% of days
+/// the performance target is violated": a day is violated when more than
+/// `violation_frac` of its requests are affected by bid failures or miss
+/// the latency target).
+#[derive(Debug, Clone, Default)]
+pub struct ViolationTracker {
+    days: Vec<DayCounters>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DayCounters {
+    requests: u64,
+    affected: u64,
+}
+
+impl ViolationTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `requests` requests on `day`, of which `affected` were
+    /// degraded (served from the backend due to a failure, or over target).
+    pub fn record(&mut self, day: usize, requests: u64, affected: u64) {
+        if self.days.len() <= day {
+            self.days.resize(day + 1, DayCounters::default());
+        }
+        let d = &mut self.days[day];
+        d.requests += requests;
+        d.affected += affected.min(requests);
+    }
+
+    /// Number of days with any traffic.
+    pub fn days(&self) -> usize {
+        self.days.iter().filter(|d| d.requests > 0).count()
+    }
+
+    /// Whether `day` is violated at the given threshold (paper: 1%).
+    pub fn is_violated(&self, day: usize, threshold: f64) -> bool {
+        self.days
+            .get(day)
+            .is_some_and(|d| d.requests > 0 && d.affected as f64 > threshold * d.requests as f64)
+    }
+
+    /// Fraction of traffic-bearing days that are violated.
+    pub fn violated_day_frac(&self, threshold: f64) -> f64 {
+        let total = self.days();
+        if total == 0 {
+            return 0.0;
+        }
+        let bad = (0..self.days.len())
+            .filter(|&d| self.is_violated(d, threshold))
+            .count();
+        bad as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.95), 0.0);
+        assert_eq!(h.frac_above(100.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.05, "p50 {p50}");
+        assert!((p95 - 950.0).abs() / 950.0 < 0.05, "p95 {p95}");
+        assert!((h.mean() - 500.5).abs() < 1.0);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000.0);
+    }
+
+    #[test]
+    fn frac_above_threshold() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(100.0, 90);
+        h.record_n(10_000.0, 10);
+        let f = h.frac_above(1_000.0);
+        assert!((f - 0.1).abs() < 0.01, "{f}");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        a.record_n(100.0, 10);
+        let mut b = LatencyHistogram::new();
+        b.record_n(200.0, 10);
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert!((a.mean() - 150.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn garbage_inputs_ignored() {
+        let mut h = LatencyHistogram::new();
+        h.record(f64::NAN);
+        h.record(-5.0);
+        h.record_n(100.0, 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn extreme_values_clamped() {
+        let mut h = LatencyHistogram::new();
+        h.record(1e12);
+        h.record(0.001);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) <= 1e7 + 1.0);
+    }
+
+    #[test]
+    fn violation_tracker_threshold_logic() {
+        let mut v = ViolationTracker::new();
+        v.record(0, 1000, 5); // 0.5% — fine at 1%
+        v.record(1, 1000, 20); // 2% — violated
+        v.record(3, 500, 0);
+        assert!(!v.is_violated(0, 0.01));
+        assert!(v.is_violated(1, 0.01));
+        assert!(!v.is_violated(2, 0.01)); // day with no traffic
+        assert_eq!(v.days(), 3);
+        assert!((v.violated_day_frac(0.01) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        /// Histogram quantiles track exact quantiles within the geometric
+        /// bucket ratio, for arbitrary sample sets.
+        #[test]
+        fn quantiles_match_exact_within_bucket_error(
+            samples in proptest::collection::vec(1.0f64..1e6, 10..500),
+            q in 0.05f64..0.99,
+        ) {
+            use proptest::prelude::*;
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[idx - 1];
+            let got = h.quantile(q);
+            // Bucket ratio: (1e7)^(1/599) ≈ 1.0273 → allow 6% either way.
+            prop_assert!(
+                got >= exact / 1.06 && got <= exact * 1.06,
+                "q{q}: got {got}, exact {exact}"
+            );
+        }
+
+        /// `frac_above` + `frac below-or-equal` accounts for every sample.
+        #[test]
+        fn frac_above_is_complementary(
+            samples in proptest::collection::vec(1.0f64..1e6, 1..300),
+            threshold in 1.0f64..1e6,
+        ) {
+            use proptest::prelude::*;
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let above = h.frac_above(threshold);
+            prop_assert!((0.0..=1.0).contains(&above));
+            // Exact count, with slack for the bucket holding the threshold.
+            let exact = samples.iter().filter(|&&s| s > threshold * 1.06).count() as f64
+                / samples.len() as f64;
+            let exact_lo = samples.iter().filter(|&&s| s > threshold / 1.06).count() as f64
+                / samples.len() as f64;
+            prop_assert!(above >= exact - 1e-9 && above <= exact_lo + 1e-9,
+                "above {above}, bounds [{exact}, {exact_lo}]");
+        }
+    }
+
+    #[test]
+    fn violation_accumulates_within_day() {
+        let mut v = ViolationTracker::new();
+        v.record(0, 500, 4);
+        v.record(0, 500, 4); // total 8/1000 = 0.8%
+        assert!(!v.is_violated(0, 0.01));
+        v.record(0, 0, 0);
+        v.record(0, 100, 100);
+        assert!(v.is_violated(0, 0.01));
+    }
+}

@@ -1,0 +1,61 @@
+//! Long-horizon cost simulation: what does a month of caching cost?
+//!
+//! Runs the full control loop (forecast → predict → optimize → bill) for
+//! three procurement approaches over the same 30-day synthetic spot
+//! markets and diurnal workload, then prints the cost ledger, violations,
+//! and spot revocation counts side by side.
+//!
+//! Run with: `cargo run --release --example cost_simulation`
+
+use spotcache::cloud::billing::CostCategory;
+use spotcache::cloud::tracegen::paper_traces;
+use spotcache::core::simulation::{simulate, SimConfig};
+use spotcache::core::Approach;
+
+fn main() {
+    let days = 30;
+    let traces = paper_traces(days);
+    println!("30-day simulation: 320 kops peak, 60 GB working set, Zipf 1.0");
+    println!(
+        "markets: {}\n",
+        traces
+            .iter()
+            .map(|t| t.market.short_label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let mut baseline = None;
+    for approach in [Approach::OdOnly, Approach::OdSpotSep, Approach::Prop] {
+        let mut cfg = SimConfig::paper_default(approach, 320_000.0, 60.0, 0.99);
+        cfg.days = days;
+        let r = simulate(&cfg, &traces).expect("simulation");
+        let total = r.total_cost();
+        let base = *baseline.get_or_insert(total);
+        println!("== {approach}");
+        println!(
+            "   on-demand: {:>10.2} $",
+            r.ledger.total(CostCategory::OnDemand)
+        );
+        println!(
+            "   spot:      {:>10.2} $",
+            r.ledger.total(CostCategory::Spot)
+        );
+        println!(
+            "   backup:    {:>10.2} $",
+            r.ledger.total(CostCategory::Backup)
+        );
+        println!(
+            "   total:     {:>10.2} $  ({:.0}% of ODOnly)",
+            total,
+            100.0 * total / base
+        );
+        println!(
+            "   spot revocations: {}, days violating the 1% target: {:.0}%\n",
+            r.revocations,
+            100.0 * r.violated_day_frac()
+        );
+    }
+    println!("the full evaluation (all tables and figures) lives in the spotcache-bench");
+    println!("binaries: table1..table4, fig2..fig13 — see DESIGN.md and EXPERIMENTS.md.");
+}

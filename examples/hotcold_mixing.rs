@@ -1,0 +1,70 @@
+//! Hot-cold mixing: the procurement optimizer end to end.
+//!
+//! Builds the paper's online optimization problem for a skewed workload
+//! over real (synthetic) spot markets and contrasts three policies:
+//! on-demand only, strict hot-cold *separation*, and the paper's hot-cold
+//! *mixing* — showing the allocation, the modeled cost, and the resource
+//! wastage separation causes (paper Figure 3 / Section 5.5).
+//!
+//! Run with: `cargo run --release --example hotcold_mixing`
+
+use spotcache::cloud::tracegen::paper_traces;
+use spotcache::cloud::DAY;
+use spotcache::core::controller::{ControllerConfig, GlobalController};
+use spotcache::core::Approach;
+
+fn main() {
+    let traces = paper_traces(30);
+    let refs: Vec<&spotcache::cloud::SpotTrace> = traces.iter().collect();
+    let now = 10 * DAY;
+
+    // 320 kops against a 60 GB working set, Zipf 1.0 (moderate skew).
+    let (rate, wss, theta) = (320_000.0, 60.0, 0.99);
+
+    for approach in [
+        Approach::OdOnly,
+        Approach::OdSpotSep,
+        Approach::PropNoBackup,
+    ] {
+        let mut controller = GlobalController::new(ControllerConfig::paper_default(approach));
+        let plan = controller
+            .plan(&refs, now, theta, rate, wss)
+            .expect("feasible plan");
+        println!("== {approach}");
+        println!("   hot set H = {:.3} of the working set", plan.hot_frac);
+        let f = plan.forecast;
+        let r_h = f.rate * f.f_hot / f.hot_frac;
+        let r_c = f.rate * (f.f_alpha - f.f_hot) / (f.alpha - f.hot_frac).max(1e-12);
+        for e in &plan.alloc.entries {
+            if e.count == 0 {
+                continue;
+            }
+            let cpu_util =
+                (e.hot_frac * r_h + e.cold_frac * r_c) / (e.count as f64 * e.offer.max_rate);
+            let ram_util =
+                (e.hot_frac + e.cold_frac) * wss / (e.count as f64 * e.offer.usable_ram_gb);
+            println!(
+                "   {:>14} x{:<3} hot x = {:.3}  cold y = {:.3}  cpu {:>3.0}%  ram {:>3.0}%  (${:.4}/h each)",
+                e.offer.label,
+                e.count,
+                e.hot_frac,
+                e.cold_frac,
+                100.0 * cpu_util,
+                100.0 * ram_util,
+                e.offer.price
+            );
+        }
+        println!("   modeled slot cost: ${:.3}", plan.alloc.cost);
+        if plan.backup.count > 0 {
+            println!(
+                "   backup: {} x {} (${:.3}/h)",
+                plan.backup.count, plan.backup.itype.name, plan.backup.hourly_cost
+            );
+        }
+        println!();
+    }
+    println!("separation pins the hot set (and with it ~90% of the traffic) on expensive");
+    println!("on-demand nodes whose RAM sits mostly empty, while its spot nodes serve so");
+    println!("few requests their CPU idles -- the paper's resource-wastage observation.");
+    println!("Mixing lets every node carry a slice of both pools and cuts the bill.");
+}

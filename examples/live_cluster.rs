@@ -1,0 +1,69 @@
+//! The whole system, live and in-process: controller, provider, router,
+//! partitioner, and real cache nodes in a closed loop.
+//!
+//! Runs 24 hours of a scaled workload against synthetic spot markets. Every
+//! hour the global controller re-plans; real stores fill from the request
+//! stream; spot revocations wipe real memory and the failover/redirect
+//! machinery keeps serving.
+//!
+//! Run with: `cargo run --release --example live_cluster`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotcache::cloud::tracegen::paper_traces;
+use spotcache::cloud::{DAY, HOUR};
+use spotcache::core::cluster::{LiveCluster, LiveClusterConfig};
+use spotcache::core::Approach;
+use spotcache::workload::{RequestGenerator, WikipediaTrace};
+
+fn main() {
+    let mut cluster = LiveCluster::new(
+        LiveClusterConfig::scaled_default(Approach::Prop),
+        paper_traces(40),
+    );
+    // RAM is scaled 1/1024 in-process, so "15 GB" working sets fit in MBs.
+    let workload = WikipediaTrace::generate(40, 100_000.0, 15.0, 7);
+    let requests = RequestGenerator::read_only(50_000, 1.2).with_value_size(256);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let start = 10 * DAY;
+    cluster.advance_to(start);
+    println!("hour  nodes  hit-rate  revocations  cumulative-$");
+    for hour in 0..24u64 {
+        let t = start + hour * HOUR;
+        let rate = workload.rate_at(t);
+        let wss = workload.wss_at(t);
+        cluster.replan(1.2, rate, wss).expect("plan");
+        for _ in 0..4_000 {
+            cluster.read(&requests.next_request(&mut rng).key_bytes());
+        }
+        cluster.advance_to(t + HOUR);
+        let s = cluster.stats();
+        println!(
+            "{hour:>4}  {:>5}  {:>7.1}%  {:>11}  {:>12.4}",
+            cluster.node_count(),
+            100.0 * s.hit_rate(),
+            s.revocations,
+            cluster.ledger().grand_total(),
+        );
+    }
+    let s = *cluster.stats();
+    println!(
+        "\ntotals: {} requests, {:.1}% hit rate, {} revocations survived",
+        s.requests(),
+        100.0 * s.hit_rate(),
+        s.revocations
+    );
+    println!(
+        "cost: ${:.4} ({} categories: {:?})",
+        cluster.ledger().grand_total(),
+        cluster.ledger().breakdown().len(),
+        cluster
+            .ledger()
+            .breakdown()
+            .iter()
+            .map(|(c, v)| format!("{}=${v:.3}", c.label()))
+            .collect::<Vec<_>>()
+    );
+}

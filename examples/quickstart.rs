@@ -1,0 +1,122 @@
+//! Quickstart: assemble a small spot/on-demand cache cluster by hand.
+//!
+//! Builds two cache nodes (one "on-demand", one "spot"), a hot-key
+//! partitioner, and a load balancer with hot-cold mixing weights; drives a
+//! Zipfian read-mostly workload through the stack; then revokes the spot
+//! node and shows reads failing over.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotcache::cache::CacheNode;
+use spotcache::router::balancer::{LoadBalancer, NodeWeights, Route};
+use spotcache::router::partitioner::KeyPartitioner;
+use spotcache::workload::RequestGenerator;
+
+fn main() {
+    // Two cache nodes: node 1 plays an on-demand m3.medium, node 2 a spot
+    // m4.large; node 100 is a small burstable backup.
+    let mut nodes: HashMap<u64, CacheNode> = HashMap::new();
+    nodes.insert(1, CacheNode::new(1, 1.0, 1.0));
+    nodes.insert(2, CacheNode::new(2, 2.0, 2.0));
+    nodes.insert(100, CacheNode::new(100, 2.0, 1.0));
+
+    // Hot-cold mixing weights: the hot pool is split between both nodes,
+    // the cold pool lives mostly on the cheap spot node.
+    let mut lb = LoadBalancer::new();
+    lb.set_weights(&[
+        NodeWeights {
+            node: 1,
+            hot: 0.5,
+            cold: 0.1,
+            is_spot: false,
+        },
+        NodeWeights {
+            node: 2,
+            hot: 0.5,
+            cold: 0.9,
+            is_spot: true,
+        },
+    ]);
+    lb.set_backups(&[100]);
+
+    // The partitioner learns which keys are hot from the access stream.
+    let mut partitioner = KeyPartitioner::new(100_000, 16);
+
+    let workload = RequestGenerator::new(50_000, 0.99, 0.95).with_value_size(256);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let mut backend_reads = 0u64;
+    let mut backup_writes = 0u64;
+    const REQUESTS: usize = 200_000;
+
+    for _ in 0..REQUESTS {
+        let req = workload.next_request(&mut rng);
+        let key = req.key_bytes();
+        partitioner.observe(&key);
+        let pool = partitioner.pool(&key);
+
+        if req.is_read {
+            match lb.route_read(pool, &key) {
+                Route::Node(n) | Route::Backup(n) => {
+                    if nodes[&n].store.get(&key).is_none() {
+                        // Miss: fetch from the backend and install.
+                        backend_reads += 1;
+                        nodes[&n].store.set(key.to_vec(), vec![0u8; req.value_size]);
+                    }
+                }
+                Route::Backend => backend_reads += 1,
+            }
+        } else {
+            for target in lb.route_write(pool, &key) {
+                let n = match target {
+                    Route::Node(n) | Route::Backup(n) => n,
+                    Route::Backend => continue,
+                };
+                if matches!(target, Route::Backup(_)) {
+                    backup_writes += 1;
+                }
+                nodes[&n].store.set(key.to_vec(), vec![0u8; req.value_size]);
+            }
+        }
+    }
+
+    println!("after {REQUESTS} requests:");
+    for id in [1u64, 2, 100] {
+        let stats = nodes[&id].store.stats();
+        println!(
+            "  node {id:>3}: {:>6} items, {:>9} bytes, hit rate {:.1}%",
+            nodes[&id].store.len(),
+            nodes[&id].store.used_bytes(),
+            100.0 * stats.hit_rate(),
+        );
+    }
+    println!(
+        "  backend reads: {backend_reads} ({:.1}%)",
+        100.0 * backend_reads as f64 / REQUESTS as f64
+    );
+    println!("  write fan-outs to backup: {backup_writes}");
+
+    // Revoke the spot node: its RAM vanishes; hot keys fail over to the
+    // backup, cold keys go to the backend.
+    println!("\nrevoking spot node 2 ...");
+    nodes.get_mut(&2).unwrap().wipe();
+    lb.mark_failed(2);
+
+    let (mut to_backup, mut to_backend, mut served) = (0u64, 0u64, 0u64);
+    for _ in 0..20_000 {
+        let req = workload.next_request(&mut rng);
+        let key = req.key_bytes();
+        match lb.route_read(partitioner.pool(&key), &key) {
+            Route::Backup(_) => to_backup += 1,
+            Route::Backend => to_backend += 1,
+            Route::Node(_) => served += 1,
+        }
+    }
+    println!("  reads after revocation: {served} from surviving node, {to_backup} from backup, {to_backend} from backend");
+    println!("\n(the full system automates all of this — see the other examples)");
+}

@@ -1,0 +1,67 @@
+//! Spot feature prediction: lifetimes and prices from market history.
+//!
+//! Generates a 90-day synthetic spot market, then walks through it
+//! comparing the temporal-locality predictor against the CDF baseline —
+//! both the raw predictions and the paper's Table 2 assessment metrics.
+//!
+//! Run with: `cargo run --release --example spot_prediction`
+
+use spotcache::cloud::spot::Bid;
+use spotcache::cloud::tracegen::paper_traces;
+use spotcache::cloud::DAY;
+use spotcache::spotmodel::assess::assess_hourly;
+use spotcache::spotmodel::{CdfPredictor, SpotPredictor, TemporalPredictor};
+
+fn main() {
+    let traces = paper_traces(90);
+    let trace = traces
+        .iter()
+        .find(|t| t.market.short_label() == "m4.XL-c")
+        .expect("m4.XL-c");
+
+    let ours = TemporalPredictor::paper_default();
+    let cdf = CdfPredictor::paper_default();
+    let bid1 = Bid(trace.od_price);
+
+    println!(
+        "market {} (on-demand {:.4} $/h), bid = 1d",
+        trace.market, trace.od_price
+    );
+    println!("\nday-by-day predictions for the low bid:");
+    println!(
+        "{:>5} {:>10} {:>14} {:>14} {:>12} {:>12}",
+        "day", "price", "ours L (h)", "cdf L (h)", "ours p $/h", "cdf p $/h"
+    );
+    for day in [10u64, 25, 35, 45, 55, 70, 85] {
+        let now = day * DAY;
+        let price = trace.price_at(now).unwrap();
+        let o = ours.predict(trace, now, bid1);
+        let c = cdf.predict(trace, now, bid1);
+        println!(
+            "{day:>5} {price:>10.4} {:>14} {:>14} {:>12} {:>12}",
+            o.map_or("-".into(), |f| format!("{:.1}", f.lifetime / 3600.0)),
+            c.map_or("-".into(), |f| format!("{:.1}", f.lifetime / 3600.0)),
+            o.map_or("-".into(), |f| format!("{:.4}", f.avg_price)),
+            c.map_or("-".into(), |f| format!("{:.4}", f.avg_price)),
+        );
+    }
+
+    println!("\nwalk-forward assessment over the whole trace (7-day training):");
+    for (name, p) in [
+        ("temporal (ours)", &ours as &dyn SpotPredictor),
+        ("cdf baseline", &cdf),
+    ] {
+        for mult in [1.0, 5.0] {
+            let bid = Bid::times_od(mult, trace.od_price);
+            match assess_hourly(p, trace, bid, 7 * DAY) {
+                Some(a) => println!(
+                    "  {name:>16} @ {mult}d: over-estimation rate {:.2}, price deviation {:.2} ({} predictions)",
+                    a.over_estimation_rate, a.price_deviation, a.samples
+                ),
+                None => println!("  {name:>16} @ {mult}d: nothing scoreable"),
+            }
+        }
+    }
+    println!("\nthe temporal predictor's over-estimation rate stays near its configured");
+    println!("5% percentile; the CDF baseline over-promises whenever the market flaps.");
+}

@@ -1,0 +1,86 @@
+//! Determinism audit: the entire pipeline — trace generation, workload
+//! synthesis, planning, simulation, prototype emulation, recovery — must be
+//! a pure function of its seeds. Every number in EXPERIMENTS.md depends on
+//! this.
+
+use spotcache::cloud::catalog::find_type;
+use spotcache::cloud::tracegen::{correlated_paper_traces, paper_traces};
+use spotcache::core::controller::ControllerConfig;
+use spotcache::core::prototype::{run_prototype, PrototypeConfig};
+use spotcache::core::simulation::{simulate, SimConfig};
+use spotcache::core::Approach;
+use spotcache::sim::{simulate_recovery, BackupChoice, RecoveryConfig};
+
+#[test]
+fn traces_are_pure_functions_of_seeds() {
+    assert_eq!(
+        paper_traces(15)
+            .iter()
+            .map(|t| t.prices.clone())
+            .collect::<Vec<_>>(),
+        paper_traces(15)
+            .iter()
+            .map(|t| t.prices.clone())
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        correlated_paper_traces(15)[1].prices,
+        correlated_paper_traces(15)[1].prices,
+    );
+}
+
+#[test]
+fn long_simulation_is_deterministic() {
+    let run = || {
+        let mut cfg = SimConfig::paper_default(Approach::Prop, 320_000.0, 60.0, 1.2);
+        cfg.days = 14;
+        let r = simulate(&cfg, &paper_traces(14)).unwrap();
+        (
+            r.total_cost().to_bits(),
+            r.revocations,
+            r.hours.iter().map(|h| h.cost.to_bits()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn prototype_is_deterministic() {
+    let market = paper_traces(60).remove(1);
+    let run = || {
+        let cfg = PrototypeConfig {
+            controller: ControllerConfig::paper_default(Approach::PropNoBackup),
+            start_day: 45,
+            peak_rate: 160_000.0,
+            max_wss_gb: 30.0,
+            theta: 1.2,
+            seed: 5,
+        };
+        let r = run_prototype(&cfg, &market).unwrap();
+        (
+            r.failures,
+            r.overall.count(),
+            r.minutes
+                .iter()
+                .map(|m| m.avg_us.to_bits())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn recovery_timeline_is_deterministic() {
+    let run = || {
+        let cfg = RecoveryConfig::figure11(BackupChoice::Instance(find_type("t2.medium").unwrap()));
+        let tl = simulate_recovery(&cfg);
+        (
+            tl.recovered_at,
+            tl.points
+                .iter()
+                .map(|p| (p.avg_us.to_bits(), p.p95_us.to_bits()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,262 @@
+//! End-to-end integration: the cloud provider, cache nodes, partitioner,
+//! and load balancer wired together the way the paper's prototype wires
+//! memcached, mcrouter, and EC2.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotcache::cache::CacheNode;
+use spotcache::cloud::billing::CostCategory;
+use spotcache::cloud::catalog::find_type;
+use spotcache::cloud::provider::{CloudProvider, Lease, ProviderEvent};
+use spotcache::cloud::spot::{Bid, MarketId, SpotTrace};
+use spotcache::cloud::TRACE_STEP;
+use spotcache::router::balancer::{LoadBalancer, NodeWeights, Route};
+use spotcache::router::partitioner::KeyPartitioner;
+use spotcache::workload::RequestGenerator;
+
+fn market() -> MarketId {
+    MarketId::new("m4.large", "us-east-1d")
+}
+
+/// Cheap for 20 steps, spike for 3, cheap again.
+fn provider() -> CloudProvider {
+    let mut prices = vec![0.03; 20];
+    prices.extend(vec![0.5; 3]);
+    prices.extend(vec![0.03; 50]);
+    CloudProvider::new(vec![SpotTrace::new(market(), 0.12, prices)]).with_launch_delay(0)
+}
+
+struct Cluster {
+    nodes: HashMap<u64, CacheNode>,
+    lb: LoadBalancer,
+    partitioner: KeyPartitioner,
+    backend_reads: u64,
+}
+
+impl Cluster {
+    fn read(&mut self, key: &[u8]) {
+        self.partitioner.observe(key);
+        match self.lb.route_read(self.partitioner.pool(key), key) {
+            Route::Node(n) | Route::Backup(n) => {
+                let node = self.nodes.get(&n).expect("routed to known node");
+                if node.store.get(key).is_none() {
+                    self.backend_reads += 1;
+                    node.store.set(key.to_vec(), vec![0u8; 128]);
+                }
+            }
+            Route::Backend => self.backend_reads += 1,
+        }
+    }
+
+    fn write(&mut self, key: &[u8]) {
+        self.partitioner.observe(key);
+        for t in self.lb.route_write(self.partitioner.pool(key), key) {
+            if let Route::Node(n) | Route::Backup(n) = t {
+                self.nodes[&n].store.set(key.to_vec(), vec![0u8; 128]);
+            }
+        }
+    }
+}
+
+#[test]
+fn full_stack_survives_a_revocation() {
+    let mut cloud = provider();
+    let m4 = find_type("m4.large").unwrap();
+    let od = cloud
+        .launch(m4, Lease::OnDemand, CostCategory::OnDemand)
+        .unwrap();
+    let spot = cloud
+        .launch(
+            m4,
+            Lease::Spot {
+                market: market(),
+                bid: Bid(0.12),
+            },
+            CostCategory::Spot,
+        )
+        .unwrap();
+    let backup = cloud
+        .launch(
+            find_type("t2.medium").unwrap(),
+            Lease::OnDemand,
+            CostCategory::Backup,
+        )
+        .unwrap();
+
+    let mut nodes = HashMap::new();
+    for id in [od, spot, backup] {
+        nodes.insert(id, CacheNode::for_tests(id, 32 << 20));
+    }
+    let mut lb = LoadBalancer::new();
+    lb.set_weights(&[
+        NodeWeights {
+            node: od,
+            hot: 0.5,
+            cold: 0.2,
+            is_spot: false,
+        },
+        NodeWeights {
+            node: spot,
+            hot: 0.5,
+            cold: 0.8,
+            is_spot: true,
+        },
+    ]);
+    lb.set_backups(&[backup]);
+    let mut cluster = Cluster {
+        nodes,
+        lb,
+        partitioner: KeyPartitioner::new(50_000, 8),
+        backend_reads: 0,
+    };
+
+    // Warm phase: mixed traffic while the spot market is cheap.
+    let gen = RequestGenerator::new(5_000, 1.2, 0.9);
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..60_000 {
+        let req = gen.next_request(&mut rng);
+        if req.is_read {
+            cluster.read(&req.key_bytes());
+        } else {
+            cluster.write(&req.key_bytes());
+        }
+    }
+    let warm_backend = cluster.backend_reads;
+    assert!(
+        !cluster.nodes[&spot].store.is_empty(),
+        "spot node holds data"
+    );
+    assert!(
+        !cluster.nodes[&backup].store.is_empty(),
+        "backup received write fan-out"
+    );
+
+    // The spike at step 20 revokes the spot instance (warning at the spike
+    // onset, revocation 120 s later — both inside this advance window).
+    let events = cloud.advance_to(22 * TRACE_STEP);
+    let warn_at = events
+        .iter()
+        .find_map(|e| match e {
+            ProviderEvent::RevocationWarning { id, at, .. } if *id == spot => Some(*at),
+            _ => None,
+        })
+        .expect("provider warns before revoking");
+    let revoke_at = events
+        .iter()
+        .find_map(|e| match e {
+            ProviderEvent::Revoked { id, at } if *id == spot => Some(*at),
+            _ => None,
+        })
+        .expect("spot instance revoked during the spike");
+    assert_eq!(revoke_at, warn_at + spotcache::cloud::REVOCATION_WARNING);
+
+    // React: wipe the node, mark it failed.
+    cluster.nodes.get_mut(&spot).unwrap().wipe();
+    cluster.lb.mark_failed(spot);
+
+    // Hot keys that lived on the spot node are still served (backup);
+    // others fall back to the backend; nothing panics or routes to the
+    // dead node.
+    let mut backup_hits = 0;
+    for _ in 0..20_000 {
+        let req = gen.next_request(&mut rng);
+        let key = req.key_bytes();
+        if let Route::Backup(b) = cluster.lb.route_read(cluster.partitioner.pool(&key), &key) {
+            assert_eq!(b, backup);
+            if cluster.nodes[&b].store.get(&key).is_some() {
+                backup_hits += 1;
+            }
+        }
+        cluster.read(&key);
+    }
+    assert!(
+        backup_hits > 0,
+        "hot content is actually present on the backup"
+    );
+    assert!(
+        cluster.backend_reads > warm_backend,
+        "cold content pays backend misses"
+    );
+
+    // Billing recorded every category.
+    let ledger = cloud.ledger();
+    assert!(ledger.total(CostCategory::OnDemand) > 0.0);
+    assert!(ledger.total(CostCategory::Spot) > 0.0);
+    assert!(ledger.total(CostCategory::Backup) > 0.0);
+    // Spot was billed at spot prices: strictly cheaper than the same
+    // duration on demand.
+    assert!(ledger.total(CostCategory::Spot) < ledger.total(CostCategory::OnDemand));
+}
+
+#[test]
+fn replacement_redirect_restores_service() {
+    let mut cloud = provider();
+    let m4 = find_type("m4.large").unwrap();
+    let spot = cloud
+        .launch(
+            m4,
+            Lease::Spot {
+                market: market(),
+                bid: Bid(0.12),
+            },
+            CostCategory::Spot,
+        )
+        .unwrap();
+    let mut nodes = HashMap::new();
+    nodes.insert(spot, CacheNode::for_tests(spot, 32 << 20));
+
+    let mut lb = LoadBalancer::new();
+    lb.set_weights(&[NodeWeights {
+        node: spot,
+        hot: 1.0,
+        cold: 1.0,
+        is_spot: true,
+    }]);
+    let mut cluster = Cluster {
+        nodes,
+        lb,
+        partitioner: KeyPartitioner::new(10_000, 4),
+        backend_reads: 0,
+    };
+    let gen = RequestGenerator::read_only(1_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..5_000 {
+        cluster.read(&gen.next_request(&mut rng).key_bytes());
+    }
+
+    // Revocation: launch a replacement (on-demand) and redirect.
+    cloud.advance_to(22 * TRACE_STEP);
+    let replacement = cloud
+        .launch(m4, Lease::OnDemand, CostCategory::OnDemand)
+        .unwrap();
+    cluster
+        .nodes
+        .insert(replacement, CacheNode::for_tests(replacement, 32 << 20));
+    cluster.lb.mark_failed(spot);
+    cluster.lb.redirect(spot, replacement);
+
+    let before = cluster.backend_reads;
+    for _ in 0..5_000 {
+        cluster.read(&gen.next_request(&mut rng).key_bytes());
+    }
+    // The replacement warms organically: misses happen but service works
+    // and the replacement fills up.
+    assert!(!cluster.nodes[&replacement].store.is_empty());
+    assert!(
+        cluster.backend_reads > before,
+        "cold replacement pays misses"
+    );
+    let refill = cluster.backend_reads;
+    for _ in 0..5_000 {
+        cluster.read(&gen.next_request(&mut rng).key_bytes());
+    }
+    let late_misses = cluster.backend_reads - refill;
+    assert!(
+        late_misses < (refill - before) / 2,
+        "miss rate falls as the replacement warms: {late_misses} vs {}",
+        refill - before
+    );
+}

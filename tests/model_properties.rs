@@ -1,0 +1,114 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs, spanning the cloud substrate, the models, and the loaders.
+
+use proptest::prelude::*;
+
+use spotcache::cloud::billing::CostCategory;
+use spotcache::cloud::catalog::find_type;
+use spotcache::cloud::provider::{CloudProvider, Lease};
+use spotcache::cloud::spot::{Bid, MarketId, SpotTrace};
+use spotcache::cloud::tracefile;
+use spotcache::spotmodel::lifetime::LifetimeModel;
+use spotcache::spotmodel::runs::below_bid_runs;
+use spotcache::workload::zipf::PopularityModel;
+
+fn market() -> MarketId {
+    MarketId::new("m4.large", "us-east-1d")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Run extraction partitions the below-bid samples exactly: total run
+    /// length equals step × (count of covered samples), and runs never
+    /// overlap.
+    #[test]
+    fn run_extraction_partitions_samples(
+        prices in proptest::collection::vec(0.01f64..0.5, 10..200),
+        bid in 0.05f64..0.4,
+    ) {
+        let t = SpotTrace::new(market(), 0.12, prices.clone());
+        let runs = below_bid_runs(&t, 0, t.end(), Bid(bid));
+        let covered = prices.iter().filter(|&&p| p <= bid + 1e-12).count() as u64;
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, covered * t.step);
+        for w in runs.windows(2) {
+            prop_assert!(w[0].end() < w[1].start, "runs must be separated");
+        }
+        // Every run's average price is at or below the bid.
+        for r in &runs {
+            prop_assert!(r.avg_price <= bid + 1e-9);
+        }
+    }
+
+    /// The lifetime prediction never exceeds the window and is never
+    /// negative, for any price series.
+    #[test]
+    fn lifetime_prediction_is_bounded(
+        prices in proptest::collection::vec(0.01f64..1.0, 50..300),
+        q in 0.0f64..1.0,
+    ) {
+        let t = SpotTrace::new(market(), 0.12, prices);
+        let window = t.duration();
+        let m = LifetimeModel::new(window, q);
+        if let Some(pred) = m.predict(&t, t.end(), Bid(0.12)) {
+            prop_assert!(pred >= 0.0);
+            prop_assert!(pred <= window as f64 + 1e-9);
+        }
+    }
+
+    /// The popularity CDF is monotone in both arguments and its inverse is
+    /// consistent: `access_mass(hot_fraction(m)) >= m`.
+    #[test]
+    fn popularity_model_inverse_consistency(
+        n in 100u64..1_000_000,
+        theta in 0.1f64..2.5,
+        mass in 0.05f64..0.99,
+    ) {
+        let m = PopularityModel::new(n, theta);
+        let h = m.hot_fraction(mass);
+        prop_assert!((0.0..=1.0).contains(&h));
+        prop_assert!(m.access_mass(h) >= mass - 1e-6);
+        // Monotonicity in the fraction argument.
+        prop_assert!(m.access_mass(h) <= m.access_mass((h + 0.1).min(1.0)) + 1e-9);
+    }
+
+    /// Provider billing conservation: the ledger total equals the exact
+    /// price integral of usable time, for arbitrary price series and
+    /// advance patterns.
+    #[test]
+    fn billing_matches_price_integral(
+        prices in proptest::collection::vec(0.01f64..0.5, 20..60),
+        advances in proptest::collection::vec(1u64..2_000, 1..8),
+    ) {
+        let trace = SpotTrace::new(market(), 0.12, prices.clone());
+        let step = trace.step;
+        let mut p = CloudProvider::new(vec![trace]).with_launch_delay(0);
+        let itype = find_type("m4.large").unwrap();
+        p.launch(itype, Lease::Spot { market: market(), bid: Bid(10.0) }, CostCategory::Spot)
+            .unwrap();
+        let mut t = 0u64;
+        let horizon = prices.len() as u64 * step;
+        for a in advances {
+            t = (t + a).min(horizon);
+            p.advance_to(t);
+        }
+        p.advance_to(horizon);
+        // Exact integral: each full sample interval at its price.
+        let expect: f64 = prices.iter().map(|pr| pr * step as f64 / 3_600.0).sum();
+        let got = p.ledger().total(CostCategory::Spot);
+        prop_assert!((got - expect).abs() < 1e-6, "got {got}, want {expect}");
+    }
+
+    /// Trace CSV roundtrip: parse(to_csv(t)) == t for arbitrary traces.
+    #[test]
+    fn trace_csv_roundtrip(prices in proptest::collection::vec(0.0f64..2.0, 1..100)) {
+        // Quantize like EC2 does so the text roundtrip is exact.
+        let prices: Vec<f64> = prices.iter().map(|p| (p * 1e4).round() / 1e4).collect();
+        let t = SpotTrace::new(market(), 0.12, prices);
+        let back = tracefile::parse_csv(market(), 0.12, &tracefile::to_csv(&t)).unwrap();
+        prop_assert_eq!(t.prices, back.prices);
+        prop_assert_eq!(t.start, back.start);
+        prop_assert_eq!(t.step, back.step);
+    }
+}
