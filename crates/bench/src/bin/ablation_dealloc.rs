@@ -13,7 +13,7 @@ use spotcache_core::Approach;
 /// Total instances released across consecutive hourly plans.
 fn scale_down_events(r: &SimResult) -> i64 {
     let totals: Vec<i64> = r
-        .hours
+        .slots
         .iter()
         .map(|h| h.od_count as i64 + h.spot_counts.iter().map(|(_, c)| *c as i64).sum::<i64>())
         .collect();

@@ -27,7 +27,7 @@ fn main() {
         let r = simulate(&cfg, &traces).unwrap();
         // Worst single-hour affected fraction: the exposure the floor caps.
         let worst = r
-            .hours
+            .slots
             .iter()
             .map(|h| h.affected_frac)
             .fold(0.0f64, f64::max);

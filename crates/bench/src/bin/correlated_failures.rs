@@ -36,7 +36,7 @@ fn main() {
             cfg.controller.cost.zeta = zeta;
             let r = simulate(&cfg, &traces).unwrap();
             let worst = r
-                .hours
+                .slots
                 .iter()
                 .map(|h| h.affected_frac)
                 .fold(0.0f64, f64::max);

@@ -31,7 +31,7 @@ fn main() {
 
         heading(&format!("{approach}: hourly allocation (per bid)"));
         let rows: Vec<Vec<String>> = r
-            .allocations
+            .slots
             .iter()
             .map(|a| {
                 let count_for = |suffix: &str| {
@@ -43,7 +43,7 @@ fn main() {
                         .to_string()
                 };
                 vec![
-                    a.hour.to_string(),
+                    a.slot.to_string(),
                     a.od_count.to_string(),
                     count_for("@1d"),
                     count_for("@5d"),
@@ -59,7 +59,7 @@ fn main() {
         .iter()
         .map(|(a, r)| {
             let bid1_max = r
-                .allocations
+                .slots
                 .iter()
                 .map(|al| {
                     al.spot_counts
@@ -71,7 +71,7 @@ fn main() {
                 .max()
                 .unwrap_or(0);
             let bid2_max = r
-                .allocations
+                .slots
                 .iter()
                 .map(|al| {
                     al.spot_counts
@@ -84,12 +84,12 @@ fn main() {
                 .unwrap_or(0);
             vec![
                 a.to_string(),
-                r.failures.to_string(),
+                r.revocations.to_string(),
                 bid1_max.to_string(),
                 bid2_max.to_string(),
-                format!("{:.0}", r.overall.mean()),
-                format!("{:.0}", r.overall.quantile(0.95)),
-                format!("{:.0}", r.overall.quantile(0.99)),
+                format!("{:.0}", r.latency.mean()),
+                format!("{:.0}", r.latency.quantile(0.95)),
+                format!("{:.0}", r.latency.quantile(0.99)),
             ]
         })
         .collect();

@@ -32,11 +32,11 @@ fn main() {
 
         heading(&format!("{approach}: hourly allocation"));
         let rows: Vec<Vec<String>> = r
-            .allocations
+            .slots
             .iter()
             .map(|a| {
                 vec![
-                    a.hour.to_string(),
+                    a.slot.to_string(),
                     a.od_count.to_string(),
                     a.spot_counts
                         .iter()
@@ -50,7 +50,7 @@ fn main() {
 
         heading(&format!("{approach}: latency (30-minute buckets)"));
         let rows: Vec<Vec<String>> = r
-            .minutes
+            .samples
             .chunks(30)
             .enumerate()
             .map(|(i, chunk)| {
@@ -73,12 +73,12 @@ fn main() {
         .map(|(a, r)| {
             vec![
                 a.to_string(),
-                r.failures.to_string(),
-                format!("{:.0}", r.overall.mean()),
-                format!("{:.0}", r.overall.quantile(0.95)),
-                format!("{:.0}", r.overall.quantile(0.99)),
-                format!("{:.0}", r.overall.quantile(0.999)),
-                r.minutes
+                r.revocations.to_string(),
+                format!("{:.0}", r.latency.mean()),
+                format!("{:.0}", r.latency.quantile(0.95)),
+                format!("{:.0}", r.latency.quantile(0.99)),
+                format!("{:.0}", r.latency.quantile(0.999)),
+                r.samples
                     .iter()
                     .filter(|m| m.p95_us > 5_000.0)
                     .count()

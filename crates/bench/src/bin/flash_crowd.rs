@@ -33,7 +33,7 @@ fn main() {
         cfg.reactive = reactive;
         let r = simulate(&cfg, &traces).expect("simulation");
         let worst = r
-            .hours
+            .slots
             .iter()
             .map(|h| h.affected_frac)
             .fold(0.0f64, f64::max);

@@ -2,10 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Cost categories used in the paper's breakdown plots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CostCategory {
     /// Regular on-demand instances serving cache traffic.
     OnDemand,
@@ -38,7 +36,7 @@ impl CostCategory {
 }
 
 /// An append-only cost ledger with per-category and per-day aggregation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Ledger {
     totals: BTreeMap<CostCategory, f64>,
     /// `day -> category -> dollars`.

@@ -7,8 +7,6 @@
 //! controller exploits this by keeping burstables idle (banking tokens) and
 //! bursting exactly during failure recovery.
 
-use serde::{Deserialize, Serialize};
-
 use crate::catalog::{BurstSpec, InstanceType};
 
 /// A generic token bucket with a guaranteed base rate and a burst rate.
@@ -28,7 +26,7 @@ use crate::catalog::{BurstSpec, InstanceType};
 /// assert_eq!(bucket.consume(10.0, 5.0), 10.0); // burst holds
 /// assert!((bucket.burst_endurance(10.0) - 55.0 / 9.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TokenBucket {
     /// Current token level.
     pub level: f64,
@@ -128,7 +126,7 @@ impl TokenBucket {
 ///
 /// Internally tokens are vCPU-seconds; EC2 documentation speaks in credits
 /// (vCPU-minutes), so conversion helpers are provided.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurstableCpu {
     bucket: TokenBucket,
 }
@@ -179,7 +177,7 @@ impl BurstableCpu {
 
 /// The network-allowance bucket of a burstable instance (tokens are
 /// megabits).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurstableNet {
     bucket: TokenBucket,
 }
@@ -221,7 +219,7 @@ impl BurstableNet {
 }
 
 /// Bundles both buckets for one burstable instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurstableState {
     /// CPU-credit bucket.
     pub cpu: BurstableCpu,

@@ -5,10 +5,8 @@
 //! [`BurstSpec`] describing their token-bucket-governed CPU and network
 //! capacities (paper Table 3 and Figure 5).
 
-use serde::{Deserialize, Serialize};
-
 /// First-order instance classification used by the paper (Section 2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstanceClass {
     /// Conventional on-demand / reserved instances: high availability,
     /// near-fixed capacity. Also the class spot instances are drawn from.
@@ -24,7 +22,7 @@ pub enum InstanceClass {
 /// one vCPU-minute of full utilization, credits accrue at a fixed rate and
 /// cap at 24 hours' worth of accrual. Network bandwidth follows an analogous
 /// (undocumented but measured — paper Figure 5) token bucket.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurstSpec {
     /// Sustainable baseline CPU, in fractional vCPUs (e.g. 0.1 for
     /// t2.micro's 10% of one core).
@@ -46,7 +44,7 @@ pub struct BurstSpec {
 }
 
 /// A single EC2 instance type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstanceType {
     /// EC2 API name, e.g. `"m4.large"`.
     pub name: &'static str,

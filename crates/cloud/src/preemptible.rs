@@ -19,8 +19,6 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 /// Warning GCE gives before preempting (30 seconds).
 pub const PREEMPTION_WARNING: u64 = 30;
 
@@ -28,7 +26,7 @@ pub const PREEMPTION_WARNING: u64 = 30;
 pub const MAX_LIFETIME: u64 = 24 * crate::HOUR;
 
 /// A preemptible market: fixed discount, random reclamation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PreemptibleMarket {
     /// Market label (e.g. `"us-central1-a/n1-standard-2"`).
     pub name: String,

@@ -8,12 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::TRACE_STEP;
 
 /// Identifies one spot market: an instance type in an availability zone.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MarketId {
     /// EC2 instance type name, e.g. `"m4.xlarge"`.
     pub instance_type: String,
@@ -59,7 +57,7 @@ impl fmt::Display for MarketId {
 ///
 /// The paper expresses bids as multiples of the on-demand price `d`
 /// (e.g. `0.5d`, `1d`, `5d`); [`Bid::times_od`] builds those.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bid(pub f64);
 
 impl Bid {
@@ -80,7 +78,7 @@ impl Bid {
 }
 
 /// An evenly-sampled spot price trace for one market.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpotTrace {
     /// The market this trace belongs to.
     pub market: MarketId,

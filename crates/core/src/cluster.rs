@@ -4,10 +4,17 @@
 //! **runs** the system: real [`CacheNode`] stores behind a real
 //! [`LoadBalancer`], instances leased from a real [`CloudProvider`] whose
 //! revocations wipe real memory, a real [`KeyPartitioner`] learning the hot
-//! set from the request stream, and the [`GlobalController`] re-planning
-//! placements. Requests flow through exactly the path mcrouter would take:
-//! classify → route → store lookup → (miss) backend fill → write fan-out to
-//! burstable backups.
+//! set from the request stream. Requests flow through exactly the path
+//! mcrouter would take: classify → route → store lookup → (miss) backend
+//! fill → write fan-out to burstable backups.
+//!
+//! Planning lives outside the cluster: the shared
+//! [`ControlLoop`](crate::controlplane::ControlLoop) owns the
+//! [`GlobalController`](crate::controller::GlobalController) and drives a
+//! [`LiveSubstrate`] wrapped around the cluster, which applies each
+//! [`SlotPlan`] via [`LiveCluster::apply_plan`] and advances provider
+//! time. (Tests and bespoke drivers can also plan manually and call
+//! `apply_plan` directly.)
 //!
 //! Because working sets in the paper are tens of GiB, the cluster scales
 //! node RAM by [`LiveClusterConfig::ram_scale`] so a simulation fits in
@@ -20,12 +27,14 @@ use spotcache_cloud::billing::CostCategory;
 use spotcache_cloud::catalog::find_type;
 use spotcache_cloud::provider::{CloudProvider, InstanceId, Lease, ProviderEvent};
 use spotcache_cloud::spot::SpotTrace;
-use spotcache_optimizer::problem::{OfferKind, SolveError};
+use spotcache_optimizer::problem::OfferKind;
 use spotcache_router::balancer::{LoadBalancer, NodeWeights, Route};
 use spotcache_router::partitioner::KeyPartitioner;
 use spotcache_router::prefix::Pool;
+use spotcache_sim::metrics::{ControlMetrics, ServeCounters, SlotRecord};
 
-use crate::controller::{ControllerConfig, GlobalController};
+use crate::controller::{ControllerConfig, SlotPlan};
+use crate::controlplane::{Demand, Observation, Schedule, Substrate, SubstrateEvent};
 
 /// Where a request was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,38 +49,9 @@ pub enum ServeOutcome {
     Backend,
 }
 
-/// Serving counters.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ClusterStats {
-    /// Requests served per outcome.
-    pub hits: u64,
-    /// Misses filled from the backend.
-    pub miss_filled: u64,
-    /// Backup hits during failures.
-    pub backup_hits: u64,
-    /// Requests that bypassed the cache entirely.
-    pub backend: u64,
-    /// Spot revocations processed.
-    pub revocations: u32,
-    /// Items copied from backups into replacements.
-    pub items_copied: u64,
-}
-
-impl ClusterStats {
-    /// Total requests executed.
-    pub fn requests(&self) -> u64 {
-        self.hits + self.miss_filled + self.backup_hits + self.backend
-    }
-
-    /// Cache hit rate (hits + backup hits over everything).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.requests();
-        if total == 0 {
-            return 0.0;
-        }
-        (self.hits + self.backup_hits) as f64 / total as f64
-    }
-}
+/// Serving counters (the unified [`ServeCounters`] record from
+/// `spotcache_sim::metrics`).
+pub type ClusterStats = ServeCounters;
 
 /// Live-cluster configuration.
 #[derive(Debug, Clone)]
@@ -106,7 +86,6 @@ impl LiveClusterConfig {
 pub struct LiveCluster {
     cfg: LiveClusterConfig,
     provider: CloudProvider,
-    controller: GlobalController,
     lb: LoadBalancer,
     partitioner: KeyPartitioner,
     nodes: HashMap<InstanceId, CacheNode>,
@@ -114,13 +93,16 @@ pub struct LiveCluster {
     node_offer: HashMap<InstanceId, String>,
     backups: Vec<InstanceId>,
     stats: ClusterStats,
+    /// Revocations processed since the last [`Self::take_revocations`]
+    /// drain — `(offer label, instances lost)`, for the control loop to
+    /// feed back into the controller's predictors.
+    pending_revocations: Vec<(String, u32)>,
 }
 
 impl LiveCluster {
     /// Creates a cluster over the given spot markets.
     pub fn new(cfg: LiveClusterConfig, markets: Vec<SpotTrace>) -> Self {
         Self {
-            controller: GlobalController::new(cfg.controller.clone()),
             provider: CloudProvider::new(markets).with_launch_delay(0),
             lb: LoadBalancer::new(),
             partitioner: KeyPartitioner::new(cfg.expected_keys, cfg.hot_threshold),
@@ -128,6 +110,7 @@ impl LiveCluster {
             node_offer: HashMap::new(),
             backups: Vec::new(),
             stats: ClusterStats::default(),
+            pending_revocations: Vec::new(),
             cfg,
         }
     }
@@ -147,19 +130,27 @@ impl LiveCluster {
         self.nodes.len() - self.backups.len()
     }
 
-    /// Re-plans for the coming slot and reconciles the fleet: launches and
-    /// terminates instances, rebuilds weights, resizes the backup tier.
-    pub fn replan(&mut self, theta: f64, rate: f64, wss_gb: f64) -> Result<(), SolveError> {
-        let now = self.provider.now();
-        let traces: Vec<SpotTrace> = self
-            .provider
+    /// Current provider time, seconds.
+    pub fn now(&self) -> u64 {
+        self.provider.now()
+    }
+
+    /// Clones of the provider's market traces (what the planner sees).
+    pub fn market_traces(&self) -> Vec<SpotTrace> {
+        self.provider
             .markets()
             .filter_map(|m| self.provider.trace(m).cloned())
-            .collect();
-        let refs: Vec<&SpotTrace> = traces.iter().collect();
-        let plan = self.controller.plan(&refs, now, theta, rate, wss_gb)?;
-        self.controller.observe(rate, wss_gb);
+            .collect()
+    }
 
+    /// Revocations since the last drain, `(offer label, count)`.
+    pub fn take_revocations(&mut self) -> Vec<(String, u32)> {
+        std::mem::take(&mut self.pending_revocations)
+    }
+
+    /// Reconciles the fleet against a solved plan: launches and terminates
+    /// instances, rebuilds weights, resizes the backup tier.
+    pub fn apply_plan(&mut self, plan: &SlotPlan) {
         // Reconcile per offer: count running instances under each label.
         let mut running: HashMap<String, Vec<InstanceId>> = HashMap::new();
         for (&id, label) in &self.node_offer {
@@ -262,7 +253,6 @@ impl LiveCluster {
             }
         }
         self.lb.set_backups(&self.backups);
-        Ok(())
     }
 
     fn make_node(&self, id: InstanceId, itype: &spotcache_cloud::InstanceType) -> CacheNode {
@@ -343,6 +333,7 @@ impl LiveCluster {
     /// Advances simulated time, processing revocations: wiped nodes, load
     /// balancer failover, replacement launch, and backup-driven warm-up
     /// (copying the backup's replicated items into the replacement).
+    /// Revocation labels are buffered for [`Self::take_revocations`].
     pub fn advance_to(&mut self, t: u64) -> Vec<ProviderEvent> {
         let events = self.provider.advance_to(t);
         for e in &events {
@@ -355,7 +346,7 @@ impl LiveCluster {
                     node.wipe();
                 }
                 self.lb.mark_failed(*id);
-                self.controller.on_revocation(&label, 1);
+                self.pending_revocations.push((label.clone(), 1));
                 // Launch an on-demand replacement and redirect the range.
                 let itype = self
                     .provider
@@ -387,9 +378,113 @@ impl LiveCluster {
     }
 }
 
+/// Callback driving one slot's request traffic against the cluster.
+pub type TrafficFn<'a> = Box<dyn FnMut(&mut LiveCluster, u64) + 'a>;
+
+/// Callback reporting demand (rate, working set) at a given time.
+pub type DemandFn<'a> = Box<dyn FnMut(u64) -> Demand + 'a>;
+
+/// [`Substrate`] adapter over a [`LiveCluster`]: each control slot the
+/// loop's solved plan is applied, the caller's traffic callback runs the
+/// slot's requests, and provider time advances to the slot end (billing
+/// and processing revocations).
+pub struct LiveSubstrate<'a> {
+    cluster: &'a mut LiveCluster,
+    schedule: Schedule,
+    demand: DemandFn<'a>,
+    traffic: TrafficFn<'a>,
+    slots: Vec<SlotRecord>,
+}
+
+impl<'a> LiveSubstrate<'a> {
+    /// Wraps `cluster` for `schedule`, with `demand` reporting the
+    /// workload per slot and `traffic` issuing the slot's requests.
+    pub fn new(
+        cluster: &'a mut LiveCluster,
+        schedule: Schedule,
+        demand: DemandFn<'a>,
+        traffic: TrafficFn<'a>,
+    ) -> Self {
+        Self {
+            cluster,
+            schedule,
+            demand,
+            traffic,
+            slots: Vec::new(),
+        }
+    }
+}
+
+impl Substrate for LiveSubstrate<'_> {
+    fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    fn markets(&self) -> Vec<SpotTrace> {
+        self.cluster.market_traces()
+    }
+
+    fn observe(&mut self, t: u64) -> Observation {
+        let demand = (self.demand)(t);
+        Observation {
+            actual: demand,
+            basis: demand,
+        }
+    }
+
+    fn act(
+        &mut self,
+        t: u64,
+        slot: u64,
+        plan: &SlotPlan,
+        _obs: &Observation,
+    ) -> Vec<SubstrateEvent> {
+        self.cluster.apply_plan(plan);
+        let mut od_count = 0;
+        let mut spot_counts = Vec::new();
+        for e in &plan.alloc.entries {
+            if e.count == 0 {
+                continue;
+            }
+            match &e.offer.kind {
+                OfferKind::OnDemand => od_count += e.count,
+                OfferKind::Spot { .. } => spot_counts.push((e.offer.label.clone(), e.count)),
+            }
+        }
+        (self.traffic)(self.cluster, slot);
+        // Advance to the slot boundary: bill leases, process revocations.
+        self.cluster.advance_to(t + self.schedule.slot_secs);
+        let revoked: Vec<SubstrateEvent> = self
+            .cluster
+            .take_revocations()
+            .into_iter()
+            .map(|(label, count)| SubstrateEvent::Revoked { label, count })
+            .collect();
+        self.slots.push(SlotRecord {
+            slot,
+            od_count,
+            spot_counts,
+            revoked: revoked.len() as u32,
+            ..SlotRecord::default()
+        });
+        revoked
+    }
+
+    fn finish(self: Box<Self>) -> ControlMetrics {
+        let mut metrics = ControlMetrics::new();
+        metrics.ledger = self.cluster.ledger().clone();
+        metrics.serve = *self.cluster.stats();
+        metrics.revocations = self.cluster.stats().revocations;
+        metrics.slots = self.slots;
+        metrics
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::controller::GlobalController;
+    use crate::controlplane::ControlLoop;
     use crate::Approach;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -404,11 +499,25 @@ mod tests {
         )
     }
 
+    /// One manual control cycle: plan with `ctl`, apply to `c`.
+    fn replan(c: &mut LiveCluster, ctl: &mut GlobalController, theta: f64, rate: f64, wss: f64) {
+        let traces = c.market_traces();
+        let refs: Vec<&SpotTrace> = traces.iter().collect();
+        let plan = ctl.plan(&refs, c.now(), theta, rate, wss).unwrap();
+        ctl.observe(rate, wss);
+        c.apply_plan(&plan);
+    }
+
+    fn controller(approach: Approach) -> GlobalController {
+        GlobalController::new(ControllerConfig::paper_default(approach))
+    }
+
     #[test]
     fn replan_builds_a_fleet_and_serves() {
         let mut c = cluster(Approach::PropNoBackup);
+        let mut ctl = controller(Approach::PropNoBackup);
         c.advance_to(10 * DAY);
-        c.replan(1.2, 50_000.0, 10.0).unwrap();
+        replan(&mut c, &mut ctl, 1.2, 50_000.0, 10.0);
         assert!(c.node_count() > 0, "fleet launched");
 
         let gen = RequestGenerator::read_only(20_000, 1.2);
@@ -427,8 +536,9 @@ mod tests {
     #[test]
     fn prop_maintains_backups_and_survives_revocation() {
         let mut c = cluster(Approach::Prop);
+        let mut ctl = controller(Approach::Prop);
         c.advance_to(10 * DAY);
-        c.replan(2.0, 100_000.0, 20.0).unwrap();
+        replan(&mut c, &mut ctl, 2.0, 100_000.0, 20.0);
         let had_backups = !c.backups.is_empty();
 
         let gen = RequestGenerator::read_only(50_000, 2.0);
@@ -465,21 +575,23 @@ mod tests {
         assert_eq!(c.stats().requests(), 90_000);
         if revoked {
             assert!(c.stats().revocations > 0);
+            assert_eq!(c.take_revocations().len(), c.stats().revocations as usize);
         }
     }
 
     #[test]
     fn backups_survive_same_shape_replans() {
         let mut c = cluster(Approach::Prop);
+        let mut ctl = controller(Approach::Prop);
         c.advance_to(10 * DAY);
-        c.replan(2.0, 100_000.0, 20.0).unwrap();
+        replan(&mut c, &mut ctl, 2.0, 100_000.0, 20.0);
         let before = c.backups.clone();
         if before.is_empty() {
             return; // plan put no hot data on spot this slot
         }
         // Stash content on a backup, replan identically, content survives.
         c.nodes[&before[0]].store.set("sentinel", "v");
-        c.replan(2.0, 100_000.0, 20.0).unwrap();
+        replan(&mut c, &mut ctl, 2.0, 100_000.0, 20.0);
         assert_eq!(c.backups, before, "same-shape replan keeps the fleet");
         assert!(c.nodes[&before[0]].store.get(b"sentinel").is_some());
     }
@@ -487,13 +599,43 @@ mod tests {
     #[test]
     fn replan_scales_the_fleet_down() {
         let mut c = cluster(Approach::OdOnly);
+        let mut ctl = controller(Approach::OdOnly);
         c.advance_to(10 * DAY);
-        c.replan(1.2, 200_000.0, 40.0).unwrap();
+        replan(&mut c, &mut ctl, 1.2, 200_000.0, 40.0);
         let big = c.node_count();
         // Deallocation damping retains some headroom but a large drop must
         // shrink the fleet.
-        c.replan(1.2, 10_000.0, 2.0).unwrap();
+        replan(&mut c, &mut ctl, 1.2, 10_000.0, 2.0);
         let small = c.node_count();
         assert!(small < big, "{big} -> {small}");
+    }
+
+    #[test]
+    fn control_loop_drives_the_live_cluster() {
+        // A 6-hour run through the shared ControlLoop: the LiveSubstrate
+        // applies each plan, serves traffic, and bills provider time.
+        let mut c = cluster(Approach::PropNoBackup);
+        c.advance_to(10 * DAY);
+        let gen = RequestGenerator::read_only(20_000, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let substrate = LiveSubstrate::new(
+            &mut c,
+            Schedule::slotted(10 * DAY, 6, HOUR),
+            Box::new(|_t| Demand {
+                rate: 50_000.0,
+                wss_gb: 10.0,
+            }),
+            Box::new(move |cluster, _slot| {
+                for _ in 0..5_000 {
+                    cluster.read(&gen.next_request(&mut rng).key_bytes());
+                }
+            }),
+        );
+        let ctl = controller(Approach::PropNoBackup);
+        let metrics = ControlLoop::new(ctl, 1.2).run(substrate).unwrap();
+        assert_eq!(metrics.serve.requests(), 6 * 5_000);
+        assert!(metrics.serve.hit_rate() > 0.5);
+        assert!(metrics.total_cost() > 0.0);
+        assert_eq!(c.now(), 10 * DAY + 6 * HOUR);
     }
 }

@@ -1,0 +1,267 @@
+//! The unified control plane: one predict→optimize→act loop over every
+//! execution substrate.
+//!
+//! Historically the repo had three hand-rolled drivers for the same cycle:
+//! the 90-day hourly simulation, the 24-hour per-minute prototype, and the
+//! live in-process cluster each carried their own `for`-loop around
+//! forecast → [`GlobalController::plan`] → billing/serving. This module
+//! extracts the shared skeleton:
+//!
+//! * [`Substrate`] — what a driver must expose: a [`Schedule`], the spot
+//!   markets to plan against, demand observation, plan application, and
+//!   optional fine-grained steps between replans.
+//! * [`ControlLoop`] — the single driver. It owns the
+//!   [`GlobalController`], schedules `Replan`/`Step` events on
+//!   [`spotcache_sim::engine::EventQueue`], applies the per-approach
+//!   planning policy (forecast vs. reported demand, the fixed peak plan),
+//!   and forwards revocations back into the controller's predictors.
+//! * [`hot_access_mass`] / [`cold_access_mass`] — the shared helpers that
+//!   convert placement fractions into access mass under a
+//!   [`WorkloadForecast`], previously re-derived independently by the
+//!   simulation and the prototype.
+//!
+//! All metering lands in [`spotcache_sim::metrics::ControlMetrics`], the
+//! unified result record.
+
+use crate::controller::{GlobalController, SlotPlan};
+use crate::Approach;
+use spotcache_cloud::spot::SpotTrace;
+use spotcache_optimizer::{SolveError, WorkloadForecast};
+use spotcache_sim::engine::EventQueue;
+use spotcache_sim::metrics::ControlMetrics;
+
+/// One slot's workload demand: request rate (req/s) and working-set size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demand {
+    /// Aggregate request rate in requests per second.
+    pub rate: f64,
+    /// Working-set size in GiB.
+    pub wss_gb: f64,
+}
+
+/// What a substrate reports at the top of a control slot.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// The demand actually arriving this slot (flash crowds included).
+    /// Fed to the controller's workload models after acting.
+    pub actual: Demand,
+    /// The demand to plan against when not forecasting (the offline
+    /// baselines' ground truth; excludes unforecastable flash crowds).
+    pub basis: Demand,
+}
+
+/// A revocation surfaced by the substrate that the controller's
+/// predictors must learn about.
+#[derive(Debug, Clone)]
+pub enum SubstrateEvent {
+    /// `count` instances of market `label` were revoked.
+    Revoked {
+        /// Offer label of the revoked market.
+        label: String,
+        /// Number of instances lost.
+        count: u32,
+    },
+}
+
+/// The replan/step cadence of a substrate.
+#[derive(Debug, Clone, Copy)]
+pub struct Schedule {
+    /// Absolute time of the first replan (seconds).
+    pub start: u64,
+    /// Number of control slots to run.
+    pub slots: u64,
+    /// Slot length in seconds (one billing hour in the paper).
+    pub slot_secs: u64,
+    /// Fine-grained steps per slot (0 for slot-granularity drivers).
+    pub steps_per_slot: u64,
+    /// Step length in seconds (ignored when `steps_per_slot` is 0).
+    pub step_secs: u64,
+}
+
+impl Schedule {
+    /// A slot-granularity schedule (no intra-slot steps).
+    pub fn slotted(start: u64, slots: u64, slot_secs: u64) -> Self {
+        Self {
+            start,
+            slots,
+            slot_secs,
+            steps_per_slot: 0,
+            step_secs: 0,
+        }
+    }
+
+    /// Absolute end time of the run.
+    pub fn end(&self) -> u64 {
+        self.start + self.slots * self.slot_secs
+    }
+}
+
+/// An execution substrate the [`ControlLoop`] can drive.
+///
+/// The loop calls, per slot `t`: [`advance`](Substrate::advance) (catch up
+/// wall-clock state), [`observe`](Substrate::observe), then
+/// [`act`](Substrate::act) with the solved plan, then each intra-slot
+/// [`step`](Substrate::step). Revocations returned from any of these are
+/// forwarded to [`GlobalController::on_revocation`]; all other metering is
+/// the substrate's own business, accumulated into the
+/// [`ControlMetrics`] it returns from [`finish`](Substrate::finish).
+pub trait Substrate {
+    /// The replan/step cadence.
+    fn schedule(&self) -> Schedule;
+
+    /// The spot markets available to the planner.
+    fn markets(&self) -> Vec<SpotTrace>;
+
+    /// Called once before the first slot (e.g. to prime forecasters with
+    /// training-window observations).
+    fn warmup(&mut self, _controller: &mut GlobalController) {}
+
+    /// For substrates that pin a single peak-sized plan (the `OdPeak`
+    /// baseline in the hourly simulation): the demand to plan once, up
+    /// front, with no spot markets.
+    fn fixed_peak(&self) -> Option<Demand> {
+        None
+    }
+
+    /// Whether online approaches plan from the controller's forecast
+    /// (the hourly simulation) or from reported demand (prototype, live).
+    fn plans_from_forecast(&self) -> bool {
+        false
+    }
+
+    /// Advances substrate wall-clock state to `t`, surfacing any
+    /// revocations that occurred since the last call.
+    fn advance(&mut self, _t: u64) -> Vec<SubstrateEvent> {
+        Vec::new()
+    }
+
+    /// Reports demand at the top of slot starting at `t`.
+    fn observe(&mut self, t: u64) -> Observation;
+
+    /// Applies `plan` for the slot `slot` starting at `t`: launch/bill
+    /// instances, meter cost and violations.
+    fn act(&mut self, t: u64, slot: u64, plan: &SlotPlan, obs: &Observation)
+        -> Vec<SubstrateEvent>;
+
+    /// Runs one fine-grained step at `t` (step `step` of the current
+    /// slot). Only called when the schedule has intra-slot steps.
+    fn step(&mut self, _t: u64, _step: u64) -> Vec<SubstrateEvent> {
+        Vec::new()
+    }
+
+    /// Consumes the substrate, returning the accumulated metrics.
+    fn finish(self: Box<Self>) -> ControlMetrics;
+}
+
+/// Events the loop schedules on the simulation engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopEvent {
+    Replan { slot: u64 },
+    Step { slot: u64, step: u64 },
+}
+
+/// The one driver for every substrate: schedules replans and steps on a
+/// [`EventQueue`], runs predict→optimize→act per slot, and keeps the
+/// [`GlobalController`]'s models fed.
+#[derive(Debug)]
+pub struct ControlLoop {
+    controller: GlobalController,
+    theta: f64,
+}
+
+impl ControlLoop {
+    /// Creates a loop around a controller with the paper's per-request
+    /// latency budget `theta` (milliseconds).
+    pub fn new(controller: GlobalController, theta: f64) -> Self {
+        Self { controller, theta }
+    }
+
+    /// Drives `substrate` to completion and returns its metrics.
+    pub fn run<S: Substrate>(mut self, substrate: S) -> Result<ControlMetrics, SolveError> {
+        let mut substrate = Box::new(substrate);
+        let sched = substrate.schedule();
+        let markets = substrate.markets();
+        let refs: Vec<&SpotTrace> = markets.iter().collect();
+
+        // The OdPeak baseline provisions once for peak with no spot
+        // markets and reuses that plan every slot.
+        let fixed_plan = match substrate.fixed_peak() {
+            Some(d) => Some(self.controller.plan(&[], 0, self.theta, d.rate, d.wss_gb)?),
+            None => None,
+        };
+        substrate.warmup(&mut self.controller);
+
+        let mut queue = EventQueue::new();
+        for slot in 0..sched.slots {
+            let t = sched.start + slot * sched.slot_secs;
+            queue.push(t, LoopEvent::Replan { slot });
+            for step in 0..sched.steps_per_slot {
+                queue.push(t + step * sched.step_secs, LoopEvent::Step { slot, step });
+            }
+        }
+
+        let forecasting = substrate.plans_from_forecast();
+        let mut revocations: Vec<SubstrateEvent> = Vec::new();
+        while let Some((t, event)) = queue.pop() {
+            match event {
+                LoopEvent::Replan { slot } => {
+                    revocations.extend(substrate.advance(t));
+                    self.ingest(&mut revocations);
+                    let obs = substrate.observe(t);
+                    let plan = match &fixed_plan {
+                        Some(p) => p.clone(),
+                        None => {
+                            let (rate, wss) = self.plan_demand(&obs, forecasting);
+                            self.controller.plan(&refs, t, self.theta, rate, wss)?
+                        }
+                    };
+                    revocations.extend(substrate.act(t, slot, &plan, &obs));
+                    self.ingest(&mut revocations);
+                    self.controller.observe(obs.actual.rate, obs.actual.wss_gb);
+                }
+                LoopEvent::Step { slot: _, step } => {
+                    revocations.extend(substrate.step(t, step));
+                    self.ingest(&mut revocations);
+                }
+            }
+        }
+        Ok(substrate.finish())
+    }
+
+    /// The per-approach planning policy: offline baselines always plan
+    /// from reported demand; online approaches use the AR(2) forecast
+    /// when the substrate forecasts (falling back to reported demand
+    /// before any observation).
+    fn plan_demand(&self, obs: &Observation, forecasting: bool) -> (f64, f64) {
+        let basis = (obs.basis.rate, obs.basis.wss_gb);
+        match self.controller.config().approach {
+            Approach::OdPeak | Approach::OdOnly => basis,
+            _ if forecasting => self.controller.forecast().unwrap_or(basis),
+            _ => basis,
+        }
+    }
+
+    fn ingest(&mut self, events: &mut Vec<SubstrateEvent>) {
+        for event in events.drain(..) {
+            match event {
+                SubstrateEvent::Revoked { label, count } => {
+                    self.controller.on_revocation(&label, count);
+                }
+            }
+        }
+    }
+}
+
+/// Access mass carried by a cold-placement fraction `cold_frac` of the
+/// working set, under forecast `f` (linear interpolation of the Zipf mass
+/// between `F(H)` and `F(alpha)`).
+pub fn cold_access_mass(cold_frac: f64, f: &WorkloadForecast) -> f64 {
+    cold_frac / (f.alpha - f.hot_frac).max(1e-12) * (f.f_alpha - f.f_hot)
+}
+
+/// Access mass carried by a hot-placement fraction `hot_frac` of the
+/// working set whose hot set carries `hot_set_mass` of all traffic
+/// (`F(H)` from the forecast, or the controller's configured target).
+pub fn hot_access_mass(hot_frac: f64, f: &WorkloadForecast, hot_set_mass: f64) -> f64 {
+    hot_frac / f.hot_frac.max(1e-12) * hot_set_mass
+}

@@ -8,6 +8,9 @@
 //!   `Prop_NoBackup`, `Prop` (paper Table 4),
 //! * [`controller`] — forecast → predict → optimize → publish, once per
 //!   control slot (paper Section 4.2),
+//! * [`controlplane`] — the shared [`Substrate`] trait and [`ControlLoop`]
+//!   driver scheduling every execution mode on the simulation engine's
+//!   event queue,
 //! * [`backup`] — burstable passive-backup sizing (Section 3.3),
 //! * [`simulation`] — 90-day hourly cost/violation simulation (Figures 7,
 //!   12, 13), and
@@ -18,6 +21,7 @@ pub mod approaches;
 pub mod backup;
 pub mod cluster;
 pub mod controller;
+pub mod controlplane;
 pub mod prototype;
 pub mod reactive;
 pub mod replication;
@@ -25,9 +29,13 @@ pub mod simulation;
 
 pub use approaches::Approach;
 pub use backup::{cheapest_burstable_backup, size_backup, BackupPlan};
-pub use cluster::{ClusterStats, LiveCluster, LiveClusterConfig, ServeOutcome};
+pub use cluster::{ClusterStats, LiveCluster, LiveClusterConfig, LiveSubstrate, ServeOutcome};
 pub use controller::{ControllerConfig, GlobalController, SlotPlan};
-pub use prototype::{run_prototype, PrototypeConfig, PrototypeResult};
+pub use controlplane::{
+    cold_access_mass, hot_access_mass, ControlLoop, Demand, Observation, Schedule, Substrate,
+    SubstrateEvent,
+};
+pub use prototype::{run_prototype, MinutePrototype, PrototypeConfig, PrototypeResult};
 pub use reactive::{ReactiveConfig, ReactiveController};
 pub use replication::{simulate_replication, ReplicationConfig, ReplicationResult};
-pub use simulation::{simulate, FlashCrowd, HourRecord, SimConfig, SimResult};
+pub use simulation::{simulate, FlashCrowd, HourlySim, SimConfig, SimResult};

@@ -15,10 +15,8 @@
 //! emergency instances launch and the next predictive plan absorbs the new
 //! level.
 
-use serde::{Deserialize, Serialize};
-
 /// Reactive-controller tuning.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ReactiveConfig {
     /// Observed-rate / planned-capacity ratio that triggers a reaction
     /// (default 1.1: react once the plan is 10% under water).

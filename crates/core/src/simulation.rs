@@ -1,23 +1,29 @@
 //! Long-horizon (multi-week) trace-driven simulation of a procurement
 //! approach — the engine behind the paper's Figures 7, 12 and 13.
 //!
-//! Granularity is one control slot (an hour). Each hour the controller
-//! re-plans from its forecasts and the spot predictors; the simulator then
-//! replays the actual spot prices over the hour, billing every instance,
-//! detecting bid failures, and accounting the request traffic affected by
-//! them. Affected traffic is what drives the paper's "% of days the
-//! performance target is violated" metric (a day is violated when > 1% of
-//! its requests are affected).
+//! Granularity is one control slot (an hour). The shared
+//! [`ControlLoop`](crate::controlplane::ControlLoop) re-plans each hour
+//! from the controller's forecasts and the spot predictors; the
+//! [`HourlySim`] substrate then replays the actual spot prices over the
+//! hour, billing every instance, detecting bid failures, and accounting
+//! the request traffic affected by them. Affected traffic is what drives
+//! the paper's "% of days the performance target is violated" metric (a
+//! day is violated when > 1% of its requests are affected).
 
-use spotcache_cloud::billing::{CostCategory, Ledger};
+use spotcache_cloud::billing::CostCategory;
+use spotcache_cloud::catalog::InstanceType;
 use spotcache_cloud::spot::SpotTrace;
 use spotcache_cloud::{DAY, HOUR};
 use spotcache_optimizer::problem::{OfferKind, SolveError};
-use spotcache_sim::ViolationTracker;
+use spotcache_sim::metrics::{ControlMetrics, SlotRecord};
 use spotcache_workload::wikipedia::WikipediaTrace;
 
 use crate::approaches::Approach;
-use crate::controller::{ControllerConfig, GlobalController};
+use crate::controller::{ControllerConfig, GlobalController, SlotPlan};
+use crate::controlplane::{
+    cold_access_mass, hot_access_mass, ControlLoop, Demand, Observation, Schedule, Substrate,
+    SubstrateEvent,
+};
 use crate::reactive::{ReactiveConfig, ReactiveController};
 
 /// How long (seconds) hot content lost in a failure stays degraded when a
@@ -25,6 +31,10 @@ use crate::reactive::{ReactiveConfig, ReactiveController};
 /// of Figure 11 — during which we count *half* the hot traffic as affected
 /// since warmed mass ramps roughly linearly).
 const BACKUP_WARMUP_SECS: f64 = 300.0;
+
+/// Seconds a flash crowd runs unmitigated before emergency capacity is
+/// detected, launched, and warmed (detection + ~100 s launch + ramp).
+const REACT_LAG_SECS: f64 = 300.0;
 
 /// An injected flash crowd: an unforecastable rate surge.
 #[derive(Debug, Clone, Copy)]
@@ -84,117 +94,119 @@ impl SimConfig {
     }
 }
 
-/// One hour's allocation snapshot.
-#[derive(Debug, Clone)]
-pub struct HourRecord {
-    /// Hour index from simulation start (after training).
-    pub hour: u64,
-    /// Total on-demand instances.
-    pub od_count: u32,
-    /// Per-spot-offer `(label, count)`.
-    pub spot_counts: Vec<(String, u32)>,
-    /// Spot instances revoked during this hour.
-    pub revoked: u32,
-    /// Fraction of this hour's requests affected by failures.
-    pub affected_frac: f64,
-    /// Dollars spent this hour.
-    pub cost: f64,
+/// Simulation output: the unified control-loop metrics record. Per-hour
+/// allocation snapshots are in [`ControlMetrics::slots`].
+pub type SimResult = ControlMetrics;
+
+/// The hourly-slot substrate: bills planned instances against recorded
+/// spot prices and meters failure-affected traffic.
+pub struct HourlySim {
+    cfg: SimConfig,
+    markets: Vec<SpotTrace>,
+    workload: WikipediaTrace,
+    reactive: Option<ReactiveController>,
+    emergency_type: InstanceType,
+    emergency_rate: f64,
+    start_hour: u64,
+    metrics: ControlMetrics,
 }
 
-/// Simulation output.
-#[derive(Debug)]
-pub struct SimResult {
-    /// Cost ledger (per category, per day).
-    pub ledger: Ledger,
-    /// Violation accounting.
-    pub violations: ViolationTracker,
-    /// Per-hour allocation/impact records.
-    pub hours: Vec<HourRecord>,
-    /// Total spot instances revoked.
-    pub revocations: u32,
-    /// Emergency scale-outs fired by the reactive element.
-    pub reactions: u32,
-}
-
-impl SimResult {
-    /// Total cost, dollars.
-    pub fn total_cost(&self) -> f64 {
-        self.ledger.grand_total()
-    }
-
-    /// Fraction of days violating the performance target at the paper's 1%
-    /// threshold.
-    pub fn violated_day_frac(&self) -> f64 {
-        self.violations.violated_day_frac(0.01)
+impl HourlySim {
+    /// Builds the substrate from a configuration and spot markets.
+    pub fn new(cfg: SimConfig, markets: Vec<SpotTrace>) -> Self {
+        let workload = WikipediaTrace::generate(cfg.days, cfg.peak_rate, cfg.max_wss_gb, cfg.seed);
+        let reactive = cfg.reactive.map(ReactiveController::new);
+        // Emergency capacity uses the cheapest-per-op on-demand type.
+        let emergency_type = spotcache_cloud::catalog::find_type("c3.large").expect("catalog");
+        let emergency_rate = cfg.controller.profile.max_rate_for_latency(
+            &emergency_type,
+            cfg.controller.target_avg_us,
+            false,
+        );
+        let start_hour = cfg.training_days * 24;
+        Self {
+            cfg,
+            markets,
+            workload,
+            reactive,
+            emergency_type,
+            emergency_rate,
+            start_hour,
+            metrics: ControlMetrics::new(),
+        }
     }
 }
 
-/// Runs the simulation of one approach over the given spot markets.
-pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, SolveError> {
-    let approach = cfg.controller.approach;
-    let workload = WikipediaTrace::generate(cfg.days, cfg.peak_rate, cfg.max_wss_gb, cfg.seed);
-    let mut controller = GlobalController::new(cfg.controller.clone());
-    let mut ledger = Ledger::new();
-    let mut violations = ViolationTracker::new();
-    let mut hours = Vec::new();
-    let mut revocations = 0u32;
-
-    // ODPeak plans once for the peak and never changes.
-    let peak_plan = if approach == Approach::OdPeak {
-        let refs: Vec<&SpotTrace> = vec![];
-        Some(controller.plan(&refs, 0, cfg.theta, cfg.peak_rate, cfg.max_wss_gb)?)
-    } else {
-        None
-    };
-
-    let start_hour = cfg.training_days * 24;
-    let end_hour = cfg.days * 24;
-
-    // Prime the forecasters with the training period's workload.
-    for h in 0..start_hour {
-        let t = h * HOUR;
-        controller.observe(workload.rate_at(t), workload.wss_at(t));
+impl Substrate for HourlySim {
+    fn schedule(&self) -> Schedule {
+        Schedule::slotted(
+            self.start_hour * HOUR,
+            (self.cfg.days - self.cfg.training_days) * 24,
+            HOUR,
+        )
     }
 
-    let mut reactive = cfg.reactive.map(ReactiveController::new);
-    // Emergency capacity uses the cheapest-per-op on-demand type.
-    let emergency_type = spotcache_cloud::catalog::find_type("c3.large").expect("catalog");
-    let emergency_rate = cfg.controller.profile.max_rate_for_latency(
-        &emergency_type,
-        cfg.controller.target_avg_us,
-        false,
-    );
-    /// Seconds a flash crowd runs unmitigated before emergency capacity is
-    /// detected, launched, and warmed (detection + ~100 s launch + ramp).
-    const REACT_LAG_SECS: f64 = 300.0;
+    fn markets(&self) -> Vec<SpotTrace> {
+        self.markets.clone()
+    }
 
-    for h in start_hour..end_hour {
-        let t = h * HOUR;
-        let crowd_mult = cfg
-            .flash_crowds
-            .iter()
-            .filter(|c| c.active(h))
-            .map(|c| c.multiplier)
-            .fold(1.0f64, f64::max);
-        let base_rate = workload.rate_at(t);
-        let actual_rate = base_rate * crowd_mult;
-        let actual_wss = workload.wss_at(t);
+    fn warmup(&mut self, controller: &mut GlobalController) {
+        // Prime the forecasters with the training period's workload.
+        for h in 0..self.start_hour {
+            let t = h * HOUR;
+            controller.observe(self.workload.rate_at(t), self.workload.wss_at(t));
+        }
+    }
 
+    fn fixed_peak(&self) -> Option<Demand> {
+        // ODPeak plans once for the peak and never changes.
+        (self.cfg.controller.approach == Approach::OdPeak).then_some(Demand {
+            rate: self.cfg.peak_rate,
+            wss_gb: self.cfg.max_wss_gb,
+        })
+    }
+
+    fn plans_from_forecast(&self) -> bool {
         // Offline baselines plan with perfect knowledge *of the regular
         // workload*; flash crowds are unforecastable by definition, so no
         // planner sees them coming. The online system plans from its AR(2)
         // forecasts (which lag into a sustained crowd).
-        let (plan_rate, plan_wss) = match approach {
-            Approach::OdPeak | Approach::OdOnly => (base_rate, actual_wss),
-            _ => controller.forecast().unwrap_or((base_rate, actual_wss)),
-        };
+        true
+    }
 
-        let refs: Vec<&SpotTrace> = markets.iter().collect();
-        let plan = match &peak_plan {
-            Some(p) => p.clone(),
-            None => controller.plan(&refs, t, cfg.theta, plan_rate, plan_wss)?,
-        };
+    fn observe(&mut self, t: u64) -> Observation {
+        let hour = t / HOUR;
+        let crowd_mult = self
+            .cfg
+            .flash_crowds
+            .iter()
+            .filter(|c| c.active(hour))
+            .map(|c| c.multiplier)
+            .fold(1.0f64, f64::max);
+        let base_rate = self.workload.rate_at(t);
+        let wss = self.workload.wss_at(t);
+        Observation {
+            actual: Demand {
+                rate: base_rate * crowd_mult,
+                wss_gb: wss,
+            },
+            basis: Demand {
+                rate: base_rate,
+                wss_gb: wss,
+            },
+        }
+    }
 
+    fn act(
+        &mut self,
+        t: u64,
+        slot: u64,
+        plan: &SlotPlan,
+        obs: &Observation,
+    ) -> Vec<SubstrateEvent> {
+        let approach = self.cfg.controller.approach;
+        let actual_rate = obs.actual.rate;
+        let mut events = Vec::new();
         let mut hour_cost = 0.0;
         let mut affected_mass_time = 0.0; // Σ mass × degraded-fraction-of-hour
         let mut revoked_this_hour = 0u32;
@@ -209,12 +221,13 @@ pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, Sol
                 OfferKind::OnDemand => {
                     od_count += entry.count;
                     let c = entry.offer.itype.od_price * entry.count as f64;
-                    ledger.record(CostCategory::OnDemand, t, c);
+                    self.metrics.ledger.record(CostCategory::OnDemand, t, c);
                     hour_cost += c;
                 }
                 OfferKind::Spot { market, bid } => {
                     spot_counts.push((entry.offer.label.clone(), entry.count));
-                    let trace = markets
+                    let trace = self
+                        .markets
                         .iter()
                         .find(|tr| &tr.market == market)
                         .expect("plan references a known market");
@@ -223,12 +236,15 @@ pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, Sol
                     let mean_price = trace.mean_price(t, billed_until.max(t + 1)).unwrap_or(0.0);
                     let hours_billed = (billed_until - t) as f64 / 3_600.0;
                     let c = mean_price * hours_billed * entry.count as f64;
-                    ledger.record(CostCategory::Spot, t, c);
+                    self.metrics.ledger.record(CostCategory::Spot, t, c);
                     hour_cost += c;
 
                     if let Some(tf) = failure {
                         revoked_this_hour += entry.count;
-                        controller.on_revocation(&entry.offer.label, entry.count);
+                        events.push(SubstrateEvent::Revoked {
+                            label: entry.offer.label.clone(),
+                            count: entry.count,
+                        });
                         let remaining = (t + HOUR - tf) as f64 / 3_600.0;
                         // Cold content on the failed instances is served
                         // from the backend for the rest of the hour.
@@ -236,8 +252,11 @@ pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, Sol
                         affected_mass_time += cold_mass * remaining;
                         // Hot content: backend until replacement warm, or
                         // half-degraded for the short backup warm-up.
-                        let hot_mass = entry.hot_frac / plan.forecast.hot_frac.max(1e-12)
-                            * cfg.controller.hot_mass;
+                        let hot_mass = hot_access_mass(
+                            entry.hot_frac,
+                            &plan.forecast,
+                            self.cfg.controller.hot_mass,
+                        );
                         if approach.has_backup() {
                             let warm_frac = (BACKUP_WARMUP_SECS / 3_600.0).min(remaining) * 0.5;
                             affected_mass_time += hot_mass * warm_frac;
@@ -251,7 +270,7 @@ pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, Sol
 
         if plan.backup.count > 0 {
             let c = plan.backup.hourly_cost;
-            ledger.record(CostCategory::Backup, t, c);
+            self.metrics.ledger.record(CostCategory::Backup, t, c);
             hour_cost += c;
         }
 
@@ -273,43 +292,46 @@ pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, Sol
         let effective_capacity = CAPACITY_HEADROOM * plan_capacity;
         if actual_rate > effective_capacity && plan_capacity > 0.0 {
             let shortfall_frac = 1.0 - effective_capacity / actual_rate;
-            match reactive.as_mut() {
+            match self.reactive.as_mut() {
                 Some(r) => {
                     if let Some(action) =
-                        r.observe(t, actual_rate, effective_capacity, emergency_rate)
+                        r.observe(t, actual_rate, effective_capacity, self.emergency_rate)
                     {
                         // Degraded only during the reaction lag.
                         affected_mass_time += shortfall_frac * (REACT_LAG_SECS / 3_600.0);
                         let hours_active = 1.0 - REACT_LAG_SECS / 3_600.0;
-                        let c =
-                            action.extra_instances as f64 * emergency_type.od_price * hours_active;
-                        ledger.record(CostCategory::OnDemand, t, c);
+                        let c = action.extra_instances as f64
+                            * self.emergency_type.od_price
+                            * hours_active;
+                        self.metrics.ledger.record(CostCategory::OnDemand, t, c);
                         hour_cost += c;
                     } else {
                         // Cooldown window of a previous reaction: assume its
                         // emergency capacity is still mounted this hour.
-                        let extra = ((actual_rate * 1.25 - effective_capacity) / emergency_rate)
+                        let extra = ((actual_rate * 1.25 - effective_capacity)
+                            / self.emergency_rate)
                             .ceil()
                             .max(0.0);
-                        let c = extra * emergency_type.od_price;
-                        ledger.record(CostCategory::OnDemand, t, c);
+                        let c = extra * self.emergency_type.od_price;
+                        self.metrics.ledger.record(CostCategory::OnDemand, t, c);
                         hour_cost += c;
                     }
                 }
                 None => affected_mass_time += shortfall_frac,
             }
-        } else if let Some(r) = reactive.as_mut() {
+        } else if let Some(r) = self.reactive.as_mut() {
             r.absorb();
         }
 
-        revocations += revoked_this_hour;
+        self.metrics.revocations += revoked_this_hour;
         let requests = (actual_rate * 3_600.0) as u64;
         let affected = (affected_mass_time * actual_rate * 3_600.0) as u64;
-        violations.record((t / DAY) as usize, requests, affected);
+        self.metrics
+            .violations
+            .record((t / DAY) as usize, requests, affected);
 
-        controller.observe(actual_rate, actual_wss);
-        hours.push(HourRecord {
-            hour: h - start_hour,
+        self.metrics.slots.push(SlotRecord {
+            slot,
             od_count,
             spot_counts,
             revoked: revoked_this_hour,
@@ -320,21 +342,21 @@ pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, Sol
             },
             cost: hour_cost,
         });
+        events
     }
 
-    Ok(SimResult {
-        ledger,
-        violations,
-        hours,
-        revocations,
-        reactions: reactive.map_or(0, |r| r.reactions()),
-    })
+    fn finish(self: Box<Self>) -> ControlMetrics {
+        let mut metrics = self.metrics;
+        metrics.reactions = self.reactive.map_or(0, |r| r.reactions());
+        metrics
+    }
 }
 
-/// Access mass of a cold placement fraction `y` (relative to all requests).
-fn cold_access_mass(y: f64, f: &spotcache_optimizer::problem::WorkloadForecast) -> f64 {
-    let cold_span = (f.alpha - f.hot_frac).max(1e-12);
-    y / cold_span * (f.f_alpha - f.f_hot)
+/// Runs the simulation of one approach over the given spot markets.
+pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, SolveError> {
+    let controller = GlobalController::new(cfg.controller.clone());
+    let substrate = HourlySim::new(cfg.clone(), markets.to_vec());
+    ControlLoop::new(controller, cfg.theta).run(substrate)
 }
 
 #[cfg(test)]
@@ -402,10 +424,10 @@ mod tests {
     }
 
     #[test]
-    fn hour_records_cover_the_simulated_span() {
+    fn slot_records_cover_the_simulated_span() {
         let r = quick(Approach::PropNoBackup);
-        assert_eq!(r.hours.len(), 14 * 24);
-        let sum: f64 = r.hours.iter().map(|h| h.cost).sum();
+        assert_eq!(r.slots.len(), 14 * 24);
+        let sum: f64 = r.slots.iter().map(|s| s.cost).sum();
         assert!((sum - r.total_cost()).abs() < 1e-6);
     }
 
@@ -466,11 +488,11 @@ mod tests {
     #[test]
     fn affected_fraction_is_bounded() {
         let r = quick(Approach::OdSpotCdf);
-        for h in &r.hours {
+        for s in &r.slots {
             assert!(
-                (0.0..=1.0).contains(&h.affected_frac),
+                (0.0..=1.0).contains(&s.affected_frac),
                 "{}",
-                h.affected_frac
+                s.affected_frac
             );
         }
     }

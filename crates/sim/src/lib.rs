@@ -15,7 +15,10 @@ pub mod recovery;
 
 pub use cluster::{sample_cluster_latency, NodeLoad};
 pub use engine::EventQueue;
-pub use metrics::{LatencyHistogram, ViolationTracker};
+pub use metrics::{
+    ControlMetrics, LatencyHistogram, LatencySample, ServeCounters, SlotRecord, ViolationTracker,
+};
 pub use recovery::{
     simulate_recovery, BackupChoice, RecoveryConfig, RecoveryTimeline, WarmupModel,
+    COPY_ITEMS_PER_VCPU, DEFAULT_BACKEND_CAPACITY_OPS,
 };

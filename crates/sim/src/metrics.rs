@@ -1,4 +1,9 @@
-//! Latency histograms and performance-violation accounting.
+//! Latency histograms, performance-violation accounting, and the unified
+//! control-loop metrics record shared by every [`Substrate`] driver.
+//!
+//! [`Substrate`]: https://docs.rs/spotcache-core
+
+use spotcache_cloud::billing::Ledger;
 
 /// A geometric-bucket latency histogram over microseconds.
 ///
@@ -178,6 +183,118 @@ impl ViolationTracker {
             .filter(|&d| self.is_violated(d, threshold))
             .count();
         bad as f64 / total as f64
+    }
+}
+
+/// One control slot's allocation and impact snapshot.
+///
+/// Unifies the hourly simulation's `HourRecord` and the prototype's
+/// `AllocationRecord`: every driver emits one of these per planning slot.
+#[derive(Debug, Clone, Default)]
+pub struct SlotRecord {
+    /// Slot index from the start of metering.
+    pub slot: u64,
+    /// On-demand instances allocated this slot.
+    pub od_count: u32,
+    /// Spot instances per market label.
+    pub spot_counts: Vec<(String, u32)>,
+    /// Instances revoked during the slot.
+    pub revoked: u32,
+    /// Fraction of the slot's requests affected by failures/shortfall.
+    pub affected_frac: f64,
+    /// Cost accrued this slot (all categories).
+    pub cost: f64,
+}
+
+/// One fine-grained latency sample (the prototype's per-minute record).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySample {
+    /// Step index from the start of the run (e.g. minute number).
+    pub step: u64,
+    /// Mean request latency over the step (µs).
+    pub avg_us: f64,
+    /// 95th-percentile latency over the step (µs).
+    pub p95_us: f64,
+}
+
+/// Request-serving counters for substrates that serve real requests
+/// (the live in-process cluster).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeCounters {
+    /// Requests served from a primary node's store.
+    pub hits: u64,
+    /// Misses filled from the backend and cached.
+    pub miss_filled: u64,
+    /// Hot-item reads served by a backup after a primary failure.
+    pub backup_hits: u64,
+    /// Reads that fell through to the backend.
+    pub backend: u64,
+    /// Spot revocations absorbed.
+    pub revocations: u32,
+    /// Items streamed from backups during recoveries.
+    pub items_copied: u64,
+}
+
+impl ServeCounters {
+    /// Total read requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.miss_filled + self.backup_hits + self.backend
+    }
+
+    /// In-memory hit rate (hits + backup hits over all requests).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits + self.backup_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// Unified output of one control-loop run, regardless of substrate.
+///
+/// The hourly simulation fills `ledger`/`violations`/`slots`; the
+/// per-minute prototype additionally fills `latency`/`samples`; the live
+/// cluster fills `serve`. Fields a substrate does not meter stay at their
+/// defaults.
+#[derive(Debug, Clone, Default)]
+pub struct ControlMetrics {
+    /// Cost ledger across all categories.
+    pub ledger: Ledger,
+    /// Per-day performance-violation accounting.
+    pub violations: ViolationTracker,
+    /// Aggregate latency distribution over the whole run.
+    pub latency: LatencyHistogram,
+    /// Per-slot allocation records.
+    pub slots: Vec<SlotRecord>,
+    /// Fine-grained latency samples (empty for slot-granularity drivers).
+    pub samples: Vec<LatencySample>,
+    /// Request-serving counters (live substrate only).
+    pub serve: ServeCounters,
+    /// Revocation events observed by the control loop.
+    pub revocations: u32,
+    /// Reactive-controller interventions.
+    pub reactions: u32,
+}
+
+impl ControlMetrics {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Self {
+            latency: LatencyHistogram::new(),
+            ..Self::default()
+        }
+    }
+
+    /// Total cost across all categories.
+    pub fn total_cost(&self) -> f64 {
+        self.ledger.grand_total()
+    }
+
+    /// Fraction of days violating the paper's 1% performance target.
+    pub fn violated_day_frac(&self) -> f64 {
+        self.violations.violated_day_frac(0.01)
     }
 }
 

@@ -1,10 +1,11 @@
 //! The whole system, live and in-process: controller, provider, router,
 //! partitioner, and real cache nodes in a closed loop.
 //!
-//! Runs 24 hours of a scaled workload against synthetic spot markets. Every
-//! hour the global controller re-plans; real stores fill from the request
-//! stream; spot revocations wipe real memory and the failover/redirect
-//! machinery keeps serving.
+//! Runs 24 hours of a scaled workload against synthetic spot markets,
+//! driven by the same [`ControlLoop`] that powers the simulators: every
+//! hour the loop re-plans, the [`LiveSubstrate`] applies the plan to real
+//! stores filling from the request stream, and spot revocations wipe real
+//! memory while the failover/redirect machinery keeps serving.
 //!
 //! Run with: `cargo run --release --example live_cluster`
 
@@ -13,8 +14,10 @@ use rand::SeedableRng;
 
 use spotcache::cloud::tracegen::paper_traces;
 use spotcache::cloud::{DAY, HOUR};
-use spotcache::core::cluster::{LiveCluster, LiveClusterConfig};
-use spotcache::core::Approach;
+use spotcache::core::cluster::{LiveCluster, LiveClusterConfig, LiveSubstrate};
+use spotcache::core::{
+    Approach, ControlLoop, ControllerConfig, Demand, GlobalController, Schedule,
+};
 use spotcache::workload::{RequestGenerator, WikipediaTrace};
 
 fn main() {
@@ -30,25 +33,33 @@ fn main() {
     let start = 10 * DAY;
     cluster.advance_to(start);
     println!("hour  nodes  hit-rate  revocations  cumulative-$");
-    for hour in 0..24u64 {
-        let t = start + hour * HOUR;
-        let rate = workload.rate_at(t);
-        let wss = workload.wss_at(t);
-        cluster.replan(1.2, rate, wss).expect("plan");
-        for _ in 0..4_000 {
-            cluster.read(&requests.next_request(&mut rng).key_bytes());
-        }
-        cluster.advance_to(t + HOUR);
-        let s = cluster.stats();
-        println!(
-            "{hour:>4}  {:>5}  {:>7.1}%  {:>11}  {:>12.4}",
-            cluster.node_count(),
-            100.0 * s.hit_rate(),
-            s.revocations,
-            cluster.ledger().grand_total(),
-        );
-    }
-    let s = *cluster.stats();
+    let substrate = LiveSubstrate::new(
+        &mut cluster,
+        Schedule::slotted(start, 24, HOUR),
+        Box::new(|t| Demand {
+            rate: workload.rate_at(t),
+            wss_gb: workload.wss_at(t),
+        }),
+        Box::new(move |cluster, hour| {
+            for _ in 0..4_000 {
+                cluster.read(&requests.next_request(&mut rng).key_bytes());
+            }
+            let s = cluster.stats();
+            println!(
+                "{hour:>4}  {:>5}  {:>7.1}%  {:>11}  {:>12.4}",
+                cluster.node_count(),
+                100.0 * s.hit_rate(),
+                s.revocations,
+                cluster.ledger().grand_total(),
+            );
+        }),
+    );
+    let controller = GlobalController::new(ControllerConfig::paper_default(Approach::Prop));
+    let metrics = ControlLoop::new(controller, 1.2)
+        .run(substrate)
+        .expect("plan");
+
+    let s = metrics.serve;
     println!(
         "\ntotals: {} requests, {:.1}% hit rate, {} revocations survived",
         s.requests(),
@@ -57,10 +68,10 @@ fn main() {
     );
     println!(
         "cost: ${:.4} ({} categories: {:?})",
-        cluster.ledger().grand_total(),
-        cluster.ledger().breakdown().len(),
-        cluster
-            .ledger()
+        metrics.total_cost(),
+        metrics.ledger.breakdown().len(),
+        metrics
+            .ledger
             .breakdown()
             .iter()
             .map(|(c, v)| format!("{}=${v:.3}", c.label()))

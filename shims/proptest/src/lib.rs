@@ -1,0 +1,327 @@
+//! Offline stand-in for `proptest` (API subset).
+//!
+//! Implements the slice of proptest the workspace uses: the [`proptest!`]
+//! macro, range / tuple / `any` / `collection::{vec, hash_set}` strategies,
+//! and `prop_assert*`. Values are drawn uniformly with a deterministic
+//! per-test RNG (seeded from the test name), so failures reproduce exactly
+//! across runs. No shrinking: a failing case panics with the sampled
+//! inputs available via the assertion message, which is enough for the
+//! fixed-seed regression style used in this repo.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, StandardSample};
+
+/// Strategy abstraction: something that can produce values.
+pub mod strategy {
+    use super::*;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The produced type.
+        type Value;
+        /// Draws one value.
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<T: SampleUniform + Copy> Strategy for core::ops::Range<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Strategy for core::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident => $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A => 0);
+    tuple_strategy!(A => 0, B => 1);
+    tuple_strategy!(A => 0, B => 1, C => 2);
+    tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+    tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+    tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
+    /// Strategy for the full domain of a type (see [`super::arbitrary::any`]).
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    impl<T: StandardSample> Strategy for Any<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Any;
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: rand::StandardSample>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Accepted size arguments: exact, `a..b`, `a..=b`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            if self.lo >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..=self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy producing a `HashSet` of distinct values.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while out.len() < n {
+                out.insert(self.element.sample_value(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 100 * (n + 1),
+                    "hash_set strategy: element domain too small for requested size {n}"
+                );
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::hash_set`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Harness configuration (field subset).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the expanded [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic per-test RNG: seeded from the test's name so each
+    /// property sees a stable, independent stream across runs.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        // FNV-1a 64-bit over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// The property-test macro: runs each property `cases` times with values
+/// drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),* $(,)?
+    ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_value(
+                            &($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion (panics on failure, like a failed test case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+pub use arbitrary::any;
+pub use strategy::Strategy;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Sanity: strategies respect their domains.
+        #[test]
+        fn domains_hold(
+            x in 3u32..10,
+            (a, b) in (0.0f64..1.0, any::<bool>()),
+            v in crate::collection::vec(0u8..4, 1..20),
+            s in crate::collection::hash_set(0u64..50, 2..8),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a));
+            let _ = b;
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&e| e < 4));
+            prop_assert!(s.len() >= 2 && s.len() < 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut r1 = crate::test_runner::rng_for("t");
+        let mut r2 = crate::test_runner::rng_for("t");
+        let s = crate::collection::vec(0u32..1000, 5..10);
+        assert_eq!(s.sample_value(&mut r1), s.sample_value(&mut r2));
+    }
+}

@@ -1,0 +1,522 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small slice of `rand` it actually uses. The implementation is
+//! *bit-compatible* with `rand 0.8` + `rand_chacha 0.3` for every code
+//! path spotcache exercises:
+//!
+//! * `StdRng` is ChaCha12 (djb variant: 64-bit block counter in words
+//!   12–13, 64-bit stream in words 14–15, both zero by default), with the
+//!   block-buffer consumed word-sequentially exactly like
+//!   `rand_core::block::BlockRng`;
+//! * `SeedableRng::seed_from_u64` uses `rand_core 0.6`'s PCG32 seed
+//!   expansion;
+//! * `Rng::gen::<f64>()` is the 53-bit multiply construction;
+//! * `Rng::gen_range` over integer ranges is the widening-multiply
+//!   rejection sampler of `rand 0.8`'s `UniformInt`.
+//!
+//! Seeded sequences therefore match what the real crate would produce,
+//! which keeps every golden value and qualitative shape test in the
+//! workspace meaningful.
+
+/// Low-level source of randomness (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A seedable RNG (mirror of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates an RNG from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with PCG32 (identical to
+    /// `rand_core 0.6`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let x = pcg32(&mut state);
+            chunk.copy_from_slice(&x[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable from the uniform "standard" distribution.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 `Standard` for f64: 53 significant bits, multiply-based.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        scale * (rng.next_u64() >> 11) as f64
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        scale * (rng.next_u32() >> 8) as f32
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: sign bit of a u32 draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+macro_rules! standard_int_32 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+macro_rules! standard_int_64 {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int_32!(u8, u16, u32, i8, i16, i32);
+standard_int_64!(u64, i64, usize, isize, u128, i128);
+
+/// Types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from the half-open range `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from the closed range `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+// rand 0.8 UniformInt: Lemire-style widening-multiply rejection, with the
+// sampled word width ($u_large) being u32 for sub-32-bit types and u64
+// otherwise (usize is 64-bit on every target we support).
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $sample_large:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let unsigned_max = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$sample_large() as $u_large;
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // Range of 0 here means the whole domain: sample directly.
+                if range == 0 {
+                    return StandardSample::standard_sample(rng);
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let unsigned_max = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$sample_large() as $u_large;
+                    let (hi, lo) = wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+trait WideningMul: Sized {
+    fn widening(self, other: Self) -> (Self, Self);
+}
+impl WideningMul for u32 {
+    fn widening(self, other: Self) -> (Self, Self) {
+        let t = self as u64 * other as u64;
+        ((t >> 32) as u32, t as u32)
+    }
+}
+impl WideningMul for u64 {
+    fn widening(self, other: Self) -> (Self, Self) {
+        let t = self as u128 * other as u128;
+        ((t >> 64) as u64, t as u64)
+    }
+}
+fn wmul<T: WideningMul>(a: T, b: T) -> (T, T) {
+    a.widening(b)
+}
+
+uniform_int!(u8, u8, u32, next_u32);
+uniform_int!(u16, u16, u32, next_u32);
+uniform_int!(u32, u32, u32, next_u32);
+uniform_int!(u64, u64, u64, next_u64);
+uniform_int!(usize, usize, u64, next_u64);
+uniform_int!(i8, u8, u32, next_u32);
+uniform_int!(i16, u16, u32, next_u32);
+uniform_int!(i32, u32, u32, next_u32);
+uniform_int!(i64, u64, u64, next_u64);
+uniform_int!(isize, usize, u64, next_u64);
+
+macro_rules! uniform_float {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $one_bits:expr, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                // rand 0.8 UniformFloat::sample_single: mantissa bits set
+                // the fraction of a float in [1, 2), then scale.
+                let scale = high - low;
+                let value1_2 = <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $one_bits);
+                let value0_1 = value1_2 - 1.0;
+                low + scale * value0_1
+            }
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // Matches rand 0.8, which reuses the half-open sampler for
+                // float inclusive ranges (measure-zero difference).
+                assert!(low <= high, "gen_range: low > high");
+                if low == high {
+                    return low;
+                }
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+// f64: discard 11 bits, bit pattern of 1.0f64 is 0x3FF << 52.
+uniform_float!(f64, u64, 11, 0x3FF0_0000_0000_0000u64, next_u64);
+// f32: discard 8 bits, bit pattern of 1.0f32 is 0x7F << 23.
+uniform_float!(f32, u32, 8, 0x3F80_0000u32, next_u32);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// User-facing RNG extension trait (mirror of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Draws a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // rand 0.8 Bernoulli: compare against p * 2^64 with the exact
+        // carve-out for p == 1.
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CHACHA_ROUNDS: usize = 12;
+
+    #[inline(always)]
+    fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(16);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(12);
+        x[a] = x[a].wrapping_add(x[b]);
+        x[d] = (x[d] ^ x[a]).rotate_left(8);
+        x[c] = x[c].wrapping_add(x[d]);
+        x[b] = (x[b] ^ x[c]).rotate_left(7);
+    }
+
+    pub(crate) fn chacha_block(input: &[u32; 16], rounds: usize) -> [u32; 16] {
+        let mut x = *input;
+        for _ in 0..rounds / 2 {
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (xi, ii) in x.iter_mut().zip(input.iter()) {
+            *xi = xi.wrapping_add(*ii);
+        }
+        x
+    }
+
+    /// The standard RNG: ChaCha12, bit-compatible with `rand 0.8`'s
+    /// `StdRng` (via `rand_chacha 0.3`) for sequential `next_u32` /
+    /// `next_u64` / `fill_bytes` use.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// ChaCha input block; words 12–13 are the 64-bit block counter of
+        /// the *next* block to generate, words 14–15 the stream id.
+        state: [u32; 16],
+        buf: [u32; 16],
+        /// Next unread word in `buf`; 16 means empty.
+        index: usize,
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            self.buf = chacha_block(&self.state, CHACHA_ROUNDS);
+            // 64-bit counter increment across words 12..13.
+            let (lo, carry) = self.state[12].overflowing_add(1);
+            self.state[12] = lo;
+            if carry {
+                self.state[13] = self.state[13].wrapping_add(1);
+            }
+            self.index = 0;
+        }
+
+        #[inline]
+        fn next_word(&mut self) -> u32 {
+            if self.index >= 16 {
+                self.refill();
+            }
+            let w = self.buf[self.index];
+            self.index += 1;
+            w
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut state = [0u32; 16];
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for i in 0..8 {
+                state[4 + i] = u32::from_le_bytes([
+                    seed[4 * i],
+                    seed[4 * i + 1],
+                    seed[4 * i + 2],
+                    seed[4 * i + 3],
+                ]);
+            }
+            Self {
+                state,
+                buf: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_word()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // BlockRng semantics: words are consumed strictly sequentially,
+            // low word first.
+            let lo = self.next_word() as u64;
+            let hi = self.next_word() as u64;
+            (hi << 32) | lo
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let w = self.next_word().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+        }
+    }
+
+    /// A small fast RNG. Not bit-compatible with upstream `SmallRng`
+    /// (which is platform-dependent anyway); provided for completeness.
+    pub type SmallRng = StdRng;
+}
+
+/// `rand::prelude` stand-in.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{chacha_block, StdRng};
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// RFC 7539 §2.1.1 quarter-round test vector (round function shared by
+    /// every ChaCha variant).
+    #[test]
+    fn chacha_quarter_round_rfc7539() {
+        // Run a single column+diagonal-free QR by building a state where
+        // only the tested lanes matter is awkward; instead check the full
+        // block function against the RFC 7539 §2.3.2 ChaCha20 vector below,
+        // which exercises every quarter round.
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] =
+                u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        // IETF layout for the RFC vector: 32-bit counter = 1, then the
+        // 96-bit nonce 000000 09000000 4a000000 00000000.
+        state[12] = 1;
+        state[13] = 0x0900_0000;
+        state[14] = 0x4a00_0000;
+        state[15] = 0x0000_0000;
+        let out = chacha_block(&state, 20);
+        let expect: [u32; 16] = [
+            0xe4e7_f110,
+            0x1559_3bd1,
+            0x1fdd_0f50,
+            0xc471_20a3,
+            0xc7f4_d1c7,
+            0x0368_c033,
+            0x9aaa_2204,
+            0x4e6c_d4c3,
+            0x4664_82d2,
+            0x09aa_9f07,
+            0x05d7_c214,
+            0xa202_8bd9,
+            0xd19c_12b5,
+            0xb94e_16de,
+            0xe883_d0cb,
+            0x4e3c_50a2,
+        ];
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn std_rng_is_deterministic_and_clonable() {
+        let mut a = StdRng::seed_from_u64(0xF00D);
+        let mut b = a.clone();
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(0xF00D);
+        assert_eq!(c.next_u64(), xs[0]);
+        let mut d = StdRng::seed_from_u64(0xF00E);
+        assert_ne!(d.next_u64(), xs[0]);
+    }
+
+    #[test]
+    fn f64_draws_are_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10usize..=20);
+            assert!((10..=20).contains(&v));
+            let w = r.gen_range(5u32..8);
+            assert!((5..8).contains(&w));
+            let f = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn mixed_width_draws_consume_words_sequentially() {
+        // next_u64 after an odd number of next_u32 calls must still see the
+        // next sequential words (BlockRng reads straddle freely).
+        let mut a = StdRng::seed_from_u64(42);
+        let w0 = a.next_u32();
+        let w12 = a.next_u64();
+        let mut b = StdRng::seed_from_u64(42);
+        let v0 = b.next_u32() as u64;
+        let v1 = b.next_u32() as u64;
+        let v2 = b.next_u32() as u64;
+        assert_eq!(w0 as u64, v0);
+        assert_eq!(w12, (v2 << 32) | v1);
+    }
+}

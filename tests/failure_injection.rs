@@ -40,7 +40,7 @@ fn correlated_failures_hurt_more_than_independent() {
     let indep = run(&paper_traces(21));
     let corr = run(&correlated_paper_traces(21));
     let worst = |r: &spotcache::core::SimResult| {
-        r.hours
+        r.slots
             .iter()
             .map(|h| h.affected_frac)
             .fold(0.0f64, f64::max)
@@ -88,20 +88,24 @@ fn flash_crowd_with_failures_stays_consistent() {
     cfg.reactive = Some(ReactiveConfig::default());
     let r = simulate(&cfg, &traces).unwrap();
     // Books balance: per-hour costs sum to the ledger.
-    let sum: f64 = r.hours.iter().map(|h| h.cost).sum();
+    let sum: f64 = r.slots.iter().map(|h| h.cost).sum();
     assert!((sum - r.total_cost()).abs() < 1e-6);
-    for h in &r.hours {
+    for h in &r.slots {
         assert!((0.0..=1.0).contains(&h.affected_frac));
         assert!(h.cost >= 0.0);
     }
 }
 
 /// The live cluster under correlated markets: repeated revocations across
-/// replans never leave routing pointing at dead nodes.
+/// replans never leave routing pointing at dead nodes. Driven through the
+/// shared control loop, exactly like production.
 #[test]
 fn live_cluster_survives_correlated_revocations() {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spotcache::cloud::{DAY, HOUR};
+    use spotcache::core::cluster::LiveSubstrate;
+    use spotcache::core::{ControlLoop, ControllerConfig, Demand, GlobalController, Schedule};
     use spotcache::workload::RequestGenerator;
 
     let mut cluster = LiveCluster::new(
@@ -110,19 +114,29 @@ fn live_cluster_survives_correlated_revocations() {
     );
     let gen = RequestGenerator::read_only(30_000, 1.2);
     let mut rng = StdRng::seed_from_u64(17);
-    cluster.advance_to(10 * spotcache::cloud::DAY);
-    for hour in 0..48u64 {
-        cluster
-            .replan(1.2, 80_000.0, 15.0)
-            .unwrap_or_else(|e| panic!("hour {hour}: {e}"));
-        for _ in 0..2_000 {
-            cluster.read(&gen.next_request(&mut rng).key_bytes());
-        }
-        cluster.advance_to(10 * spotcache::cloud::DAY + (hour + 1) * spotcache::cloud::HOUR);
-    }
-    let stats = cluster.stats();
-    assert_eq!(stats.requests(), 48 * 2_000);
+    cluster.advance_to(10 * DAY);
+    let substrate = LiveSubstrate::new(
+        &mut cluster,
+        Schedule::slotted(10 * DAY, 48, HOUR),
+        Box::new(|_t| Demand {
+            rate: 80_000.0,
+            wss_gb: 15.0,
+        }),
+        Box::new(move |cluster, _slot| {
+            for _ in 0..2_000 {
+                cluster.read(&gen.next_request(&mut rng).key_bytes());
+            }
+        }),
+    );
+    let controller = GlobalController::new(ControllerConfig::paper_default(Approach::Prop));
+    let metrics = ControlLoop::new(controller, 1.2).run(substrate).unwrap();
+    assert_eq!(metrics.serve.requests(), 48 * 2_000);
+    assert_eq!(metrics.slots.len(), 48);
     // Whatever failed, most traffic must still have been served from cache.
-    assert!(stats.hit_rate() > 0.5, "hit rate {}", stats.hit_rate());
-    assert!(cluster.ledger().grand_total() > 0.0);
+    assert!(
+        metrics.serve.hit_rate() > 0.5,
+        "hit rate {}",
+        metrics.serve.hit_rate()
+    );
+    assert!(metrics.total_cost() > 0.0);
 }
