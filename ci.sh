@@ -12,6 +12,17 @@ cargo test -q
 echo "==> cargo clippy -- -D warnings"
 cargo clippy -- -D warnings
 
+echo "==> cargo clippy --workspace -- -D warnings (includes spotcache-obs)"
+cargo clippy --workspace -- -D warnings
+
+echo "==> obs snapshot smoke test"
+snap="$(mktemp /tmp/obs_snapshot.XXXXXX.json)"
+trap 'rm -f "$snap"' EXIT
+cargo run --release -q -p spotcache-bench --bin obs_snapshot -- --metrics-out "$snap" \
+    | grep -q "snapshot OK"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$snap" 2>/dev/null \
+    || { echo "obs snapshot is not valid JSON"; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

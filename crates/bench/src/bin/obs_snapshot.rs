@@ -1,0 +1,117 @@
+//! Dumps a full observability snapshot to `BENCH_obs.json`.
+//!
+//! Runs the three instrumented layers against one shared [`Obs`] bundle —
+//! an observed hourly simulation (control-loop + per-slot series), an
+//! observed post-revocation recovery (warm-up + token-bucket series), and a
+//! live observed cache server round-trip (per-op counters, latency
+//! histogram, journal events) — then writes the JSON snapshot, checks it
+//! against the crate's own validator, and prints a stable `snapshot OK`
+//! line for CI to grep.
+//!
+//! Flags: `--metrics-out PATH` (default `BENCH_obs.json`).
+
+use std::sync::Arc;
+
+use spotcache_bench::heading;
+use spotcache_cache::server::{CacheClient, CacheServer, LogicalClock};
+use spotcache_cache::store::{Store, StoreConfig};
+use spotcache_cloud::catalog::find_type;
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::simulation::{simulate_observed, SimConfig};
+use spotcache_core::Approach;
+use spotcache_obs::export::validate_json;
+use spotcache_obs::Obs;
+use spotcache_sim::recovery::{simulate_recovery_observed, BackupChoice, RecoveryConfig};
+
+fn main() {
+    let out_path = metrics_out_path();
+    let obs = Arc::new(Obs::new());
+
+    heading("Observability snapshot");
+
+    // 1. Control plane: a CDF-bid simulation over the paper's markets —
+    //    the naive bidder gets revoked, so the snapshot exercises the
+    //    revocation counters and journal events too.
+    let traces = paper_traces(21);
+    let cfg = SimConfig::paper_default(Approach::OdSpotCdf, 500_000.0, 100.0, 2.0);
+    let sim = simulate_observed(&cfg, &traces, Some(Arc::clone(&obs))).expect("simulation");
+    println!(
+        "sim: 21 days, total cost ${:.2}, {} revocation slots",
+        sim.total_cost(),
+        sim.slots.iter().filter(|s| s.revoked > 0).count()
+    );
+
+    // 2. Recovery: figure-11 warm-up from a t2.medium burstable backup,
+    //    plus a nearly credit-drained t2.small whose pump must throttle,
+    //    so the bucket-throttle series is non-trivial.
+    let rcfg = RecoveryConfig::figure11(BackupChoice::Instance(
+        find_type("t2.medium").expect("t2.medium in catalog"),
+    ));
+    let tl = simulate_recovery_observed(&rcfg, Some(&obs));
+    println!(
+        "recovery: recovered_at={:?}, overall p95 {:.0} us",
+        tl.recovered_at,
+        tl.overall_p95()
+    );
+    let small = find_type("t2.small").expect("t2.small in catalog");
+    let mut rcfg2 = RecoveryConfig::figure11(BackupChoice::Instance(small));
+    rcfg2.lost_hot_gb = small.ram_gb * 0.85;
+    rcfg2.backup_credits_fraction = 0.01;
+    let tl2 = simulate_recovery_observed(&rcfg2, Some(&obs));
+    println!(
+        "recovery (t2.small, oversized): recovered_at={:?}",
+        tl2.recovered_at
+    );
+
+    // 3. Cache tier: a live observed server and a handful of ops.
+    let store = Arc::new(Store::new(StoreConfig::default()));
+    let clock = LogicalClock::new();
+    clock.set(1_000);
+    let mut server =
+        CacheServer::start_observed(store, clock, "127.0.0.1:0", Some(Arc::clone(&obs)))
+            .expect("start cache server");
+    {
+        let mut client = CacheClient::connect(server.addr()).expect("connect");
+        client.set("alpha", b"1", 0).expect("set");
+        client.set("beta", b"2", 60).expect("set");
+        assert_eq!(
+            client.get("alpha").expect("get").as_deref(),
+            Some(&b"1"[..])
+        );
+        assert!(client.get("missing").expect("get miss").is_none());
+        client.delete("alpha").expect("delete");
+    }
+    server.stop();
+    println!("cache: 5 ops against a live observed server");
+
+    // Export, validate, and write.
+    let json = obs.json_snapshot();
+    validate_json(&json).unwrap_or_else(|at| panic!("snapshot JSON invalid at byte {at}"));
+    let prom = obs.prometheus_text();
+    for series in [
+        "control_plan_cost_dollars",
+        "sim_slot_cost_dollars",
+        "recovery_warmed_mass",
+        "bucket_backup_cpu_level",
+        "cache_get_total",
+    ] {
+        assert!(prom.contains(series), "missing series {series}");
+    }
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!(
+        "wrote {out_path}: {} bytes, {} metrics, {} journal events",
+        json.len(),
+        obs.registry().len(),
+        obs.journal().len()
+    );
+    println!("snapshot OK");
+}
+
+fn metrics_out_path() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_obs.json".to_string())
+}

@@ -18,12 +18,20 @@
 //! Flags are stored with the value (memcached treats them as opaque);
 //! expiry uses the store's logical clock.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use bytes::Bytes;
+use spotcache_obs::{Counter, EventKind, Histogram, Obs};
 
 use crate::store::Store;
 
 /// Maximum key length accepted (memcached's limit).
 pub const MAX_KEY_LEN: usize = 250;
+
+/// Exptime values above this are absolute Unix timestamps, not relative
+/// TTLs (the memcached text protocol's 30-day cutoff).
+pub const EXPTIME_ABSOLUTE_CUTOFF: u64 = 60 * 60 * 24 * 30;
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -273,7 +281,16 @@ pub fn execute(store: &Store, cmd: &Command, now: u64) -> Vec<u8> {
                 StoreVerb::Replace => exists,
             };
             let reply: &[u8] = if store_it {
-                let ttl = (*exptime > 0).then_some(*exptime);
+                // Memcached exptime semantics: 0 never expires, values up
+                // to 30 days are relative TTLs, larger values are absolute
+                // Unix timestamps (converted here against the logical
+                // clock; an already-past timestamp yields a zero TTL, i.e.
+                // immediately expired).
+                let ttl = match *exptime {
+                    0 => None,
+                    e if e > EXPTIME_ABSOLUTE_CUTOFF => Some(e.saturating_sub(now)),
+                    e => Some(e),
+                };
                 store.set_at(key.clone(), encode_value(*flags, data), now, ttl);
                 // An over-budget item is silently rejected by the store;
                 // surface that as memcached's SERVER_ERROR.
@@ -365,19 +382,114 @@ pub fn execute(store: &Store, cmd: &Command, now: u64) -> Vec<u8> {
     }
 }
 
+/// Per-operation recording handles for the protocol layer.
+///
+/// One instance is shared by every connection of a server (the handles
+/// are atomic, so recording needs no lock). Latencies are wall-clock
+/// service durations in microseconds; journal timestamps are the caller's
+/// logical `now`, keeping event streams replayable.
+pub struct ProtocolObs {
+    obs: Arc<Obs>,
+    get: Counter,
+    store: Counter,
+    delete: Counter,
+    arith: Counter,
+    other: Counter,
+    hits: Counter,
+    misses: Counter,
+    parse_errors: Counter,
+    latency_us: Histogram,
+}
+
+impl ProtocolObs {
+    /// Registers the `cache_*` series in `obs` and returns the handles.
+    pub fn new(obs: Arc<Obs>) -> Self {
+        Self {
+            get: obs.counter("cache_get_total"),
+            store: obs.counter("cache_store_total"),
+            delete: obs.counter("cache_delete_total"),
+            arith: obs.counter("cache_arith_total"),
+            other: obs.counter("cache_other_total"),
+            hits: obs.counter("cache_get_hits_total"),
+            misses: obs.counter("cache_get_misses_total"),
+            parse_errors: obs.counter("cache_parse_errors_total"),
+            latency_us: obs.histogram("cache_op_latency_us"),
+            obs,
+        }
+    }
+
+    /// The underlying bundle (for snapshotting).
+    pub fn bundle(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    fn record(&self, cmd: &Command, response: &[u8], now: u64, latency_us: f64) {
+        let (op, counter, hit) = match cmd {
+            Command::Get { keys } => {
+                let values = response
+                    .windows(6)
+                    .filter(|w| w == b"VALUE ")
+                    .count()
+                    .min(keys.len());
+                self.hits.add(values as u64);
+                self.misses.add((keys.len() - values) as u64);
+                ("get", &self.get, values > 0)
+            }
+            Command::Store { .. } => ("store", &self.store, response.starts_with(b"STORED")),
+            Command::Delete { .. } => ("delete", &self.delete, response.starts_with(b"DELETED")),
+            Command::Arith { .. } => (
+                "arith",
+                &self.arith,
+                !response.starts_with(b"NOT_FOUND") && !response.starts_with(b"CLIENT_ERROR"),
+            ),
+            _ => ("other", &self.other, true),
+        };
+        counter.inc();
+        self.latency_us.record(latency_us);
+        self.obs.event(
+            now,
+            EventKind::CacheOp {
+                op: op.to_string(),
+                hit,
+                latency_us,
+            },
+        );
+    }
+}
+
 /// Parses and executes everything in `input`, returning the concatenated
 /// responses and the bytes consumed — one call of a server's read loop.
 pub fn serve(store: &Store, input: &[u8], now: u64) -> (Vec<u8>, usize) {
+    serve_observed(store, input, now, None)
+}
+
+/// [`serve`], recording per-op counters, latency, and `CacheOp` journal
+/// events when `obs` is supplied.
+pub fn serve_observed(
+    store: &Store,
+    input: &[u8],
+    now: u64,
+    obs: Option<&ProtocolObs>,
+) -> (Vec<u8>, usize) {
     let mut out = Vec::new();
     let mut consumed = 0;
     while consumed < input.len() {
         match parse(&input[consumed..]) {
             Ok((cmd, n)) => {
-                out.extend_from_slice(&execute(store, &cmd, now));
+                let start = obs.map(|_| Instant::now());
+                let response = execute(store, &cmd, now);
+                if let (Some(po), Some(start)) = (obs, start) {
+                    let latency_us = start.elapsed().as_secs_f64() * 1e6;
+                    po.record(&cmd, &response, now, latency_us);
+                }
+                out.extend_from_slice(&response);
                 consumed += n;
             }
             Err(ParseError::Incomplete) => break,
             Err(e) => {
+                if let Some(po) = obs {
+                    po.parse_errors.inc();
+                }
                 out.extend_from_slice(format!("{e}\r\n").as_bytes());
                 // Skip the offending line to resynchronize.
                 match find_crlf(&input[consumed..]) {
@@ -460,6 +572,70 @@ mod tests {
         assert!(String::from_utf8(out).unwrap().starts_with("VALUE"));
         let (out, _) = serve(&s, b"get k\r\n", 161);
         assert_eq!(out, b"END\r\n");
+    }
+
+    #[test]
+    fn relative_exptime_at_the_cutoff_is_still_relative() {
+        // Exactly 30 days (2 592 000 s) is the largest relative TTL.
+        let s = store();
+        let now = 1_700_000_000; // a plausible "wall clock" logical time
+        let req = format!("set k 0 {EXPTIME_ABSOLUTE_CUTOFF} 1\r\nv\r\n");
+        let (out, _) = serve(&s, req.as_bytes(), now);
+        assert_eq!(out, b"STORED\r\n");
+        let (out, _) = serve(&s, b"get k\r\n", now + EXPTIME_ABSOLUTE_CUTOFF - 1);
+        assert!(String::from_utf8(out).unwrap().starts_with("VALUE"));
+        let (out, _) = serve(&s, b"get k\r\n", now + EXPTIME_ABSOLUTE_CUTOFF);
+        assert_eq!(out, b"END\r\n");
+    }
+
+    #[test]
+    fn absolute_exptime_expires_at_that_timestamp() {
+        // Above the cutoff the value is an absolute Unix timestamp, NOT
+        // a TTL of 1.7 billion seconds.
+        let s = store();
+        let now = 1_700_000_000u64;
+        let expiry = now + 60;
+        let (out, _) = serve(&s, format!("set k 0 {expiry} 1\r\nv\r\n").as_bytes(), now);
+        assert_eq!(out, b"STORED\r\n");
+        let (out, _) = serve(&s, b"get k\r\n", expiry - 1);
+        assert!(String::from_utf8(out).unwrap().starts_with("VALUE"));
+        let (out, _) = serve(&s, b"get k\r\n", expiry);
+        assert_eq!(out, b"END\r\n");
+    }
+
+    #[test]
+    fn already_expired_absolute_exptime_never_serves() {
+        let s = store();
+        let now = 1_700_000_000u64;
+        let past = now - 3_600; // still > the 30-day cutoff
+        assert!(past > EXPTIME_ABSOLUTE_CUTOFF);
+        let (out, _) = serve(&s, format!("set k 0 {past} 1\r\nv\r\n").as_bytes(), now);
+        assert_eq!(out, b"STORED\r\n");
+        let (out, _) = serve(&s, b"get k\r\n", now);
+        assert_eq!(out, b"END\r\n", "item stored in the past must be dead");
+    }
+
+    #[test]
+    fn observed_serve_counts_ops_hits_and_errors() {
+        let s = store();
+        let obs = Arc::new(Obs::new());
+        let po = ProtocolObs::new(Arc::clone(&obs));
+        let input = b"set a 0 0 1\r\nx\r\nget a b\r\ndelete a\r\nbogus\r\n";
+        let (_, consumed) = serve_observed(&s, input, 7, Some(&po));
+        assert_eq!(consumed, input.len());
+        assert_eq!(obs.counter("cache_store_total").get(), 1);
+        assert_eq!(obs.counter("cache_get_total").get(), 1);
+        assert_eq!(obs.counter("cache_delete_total").get(), 1);
+        assert_eq!(obs.counter("cache_get_hits_total").get(), 1);
+        assert_eq!(obs.counter("cache_get_misses_total").get(), 1);
+        assert_eq!(obs.counter("cache_parse_errors_total").get(), 1);
+        assert_eq!(obs.histogram("cache_op_latency_us").count(), 3);
+        let events = obs.journal().events();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.t == 7), "logical timestamps");
+        assert!(events
+            .iter()
+            .all(|e| matches!(e.kind, spotcache_obs::EventKind::CacheOp { .. })));
     }
 
     #[test]

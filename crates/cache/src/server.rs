@@ -15,7 +15,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::protocol::serve;
+use parking_lot::Mutex;
+use spotcache_obs::Obs;
+
+use crate::protocol::{serve_observed, ProtocolObs};
 use crate::store::Store;
 
 /// A source of seconds for TTL handling.
@@ -59,36 +62,94 @@ impl Clock for Arc<LogicalClock> {
     }
 }
 
+/// How long the accept loop sleeps between polls of a quiet listener.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(2);
+
+/// Whether an accept error is transient (retry) rather than fatal.
+///
+/// `ECONNABORTED`/reset: the client vanished between SYN and accept.
+/// `EMFILE`/`ENFILE` (raw 24/23): fd exhaustion — pressure that clears
+/// as connections close, not a reason to kill the server.
+fn transient_accept_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+    ) || matches!(e.raw_os_error(), Some(23) | Some(24))
+}
+
 /// A running cache server.
 pub struct CacheServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl CacheServer {
     /// Starts a server for `store` on `addr` (use port 0 for an ephemeral
     /// port; the bound address is available via [`Self::addr`]).
     pub fn start(store: Arc<Store>, clock: impl Clock, addr: &str) -> std::io::Result<CacheServer> {
+        Self::start_observed(store, clock, addr, None)
+    }
+
+    /// [`start`](Self::start), recording per-op protocol metrics, accept
+    /// retries, and connection counts into `obs` when supplied.
+    pub fn start_observed(
+        store: Arc<Store>,
+        clock: impl Clock,
+        addr: &str,
+        obs: Option<Arc<Obs>>,
+    ) -> std::io::Result<CacheServer> {
         let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept: the loop can observe shutdown without
+        // depending on a wake-up connection, so `stop()` cannot hang.
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let clock = Arc::new(clock);
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let proto_obs = obs
+            .as_ref()
+            .map(|o| Arc::new(ProtocolObs::new(Arc::clone(o))));
+        let conn_counter = obs.as_ref().map(|o| o.counter("server_connections_total"));
+        let retry_counter = obs
+            .as_ref()
+            .map(|o| o.counter("server_accept_transient_errors_total"));
+
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_conns = Arc::clone(&connections);
         let handle = std::thread::spawn(move || {
-            // A short accept timeout lets the loop observe shutdown.
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => {
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        if let Some(c) = &conn_counter {
+                            c.inc();
+                        }
                         let store = Arc::clone(&store);
                         let clock = Arc::clone(&clock);
                         let conn_shutdown = Arc::clone(&accept_shutdown);
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(s, &store, &*clock, &conn_shutdown);
+                        let proto_obs = proto_obs.clone();
+                        let conn = std::thread::spawn(move || {
+                            let _ =
+                                handle_connection(s, &store, &*clock, &conn_shutdown, proto_obs);
                         });
+                        // Track the handle so stop() can join it; reap
+                        // finished ones so the vector stays bounded.
+                        let mut conns = accept_conns.lock();
+                        conns.retain(|h| !h.is_finished());
+                        conns.push(conn);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if transient_accept_error(&e) => {
+                        if let Some(c) = &retry_counter {
+                            c.inc();
+                        }
+                        std::thread::sleep(ACCEPT_POLL);
                     }
                     Err(_) => break,
                 }
@@ -98,6 +159,7 @@ impl CacheServer {
             addr: local,
             shutdown,
             accept_handle: Some(handle),
+            connections,
         })
     }
 
@@ -106,12 +168,21 @@ impl CacheServer {
         self.addr
     }
 
-    /// Signals shutdown and unblocks the accept loop.
+    /// Signals shutdown and quiesces: joins the accept loop and every
+    /// in-flight connection thread, so no server thread outlives this
+    /// call.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Nudge the blocking accept with a throwaway connection.
+        // Best-effort nudge so a poll-sleeping accept loop and blocked
+        // readers notice promptly; failure is fine (the loop polls).
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // After the accept loop exits no new connections appear; drain
+        // and join everything it spawned.
+        let conns = std::mem::take(&mut *self.connections.lock());
+        for h in conns {
             let _ = h.join();
         }
     }
@@ -128,6 +199,7 @@ fn handle_connection(
     store: &Store,
     clock: &dyn Clock,
     shutdown: &AtomicBool,
+    obs: Option<Arc<ProtocolObs>>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
     let mut pending: Vec<u8> = Vec::new();
@@ -140,7 +212,8 @@ fn handle_connection(
             Ok(0) => return Ok(()), // client closed
             Ok(n) => {
                 pending.extend_from_slice(&buf[..n]);
-                let (response, consumed) = serve(store, &pending, clock.now());
+                let (response, consumed) =
+                    serve_observed(store, &pending, clock.now(), obs.as_deref());
                 pending.drain(..consumed);
                 if !response.is_empty() {
                     stream.write_all(&response)?;
@@ -309,5 +382,85 @@ mod tests {
             let r = c.set("x", b"y", 0);
             assert!(r.is_err() || TcpStream::connect(addr).is_err() || r.is_ok());
         }
+    }
+
+    #[test]
+    fn stop_joins_in_flight_connection_threads() {
+        let (mut server, _store, _clock) = start_server();
+        // Open several connections and leave them idle (their threads sit
+        // in the read-timeout loop).
+        let clients: Vec<_> = (0..3)
+            .map(|_| CacheClient::connect(server.addr()).unwrap())
+            .collect();
+        // Give the accept loop a moment to register them all.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.connections.lock().len() < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(server.connections.lock().len(), 3);
+        server.stop();
+        // Quiesced: every tracked connection thread has been joined.
+        assert!(server.connections.lock().is_empty());
+        drop(clients);
+    }
+
+    #[test]
+    fn finished_connections_are_reaped_while_running() {
+        let (mut server, _store, _clock) = start_server();
+        for _ in 0..5 {
+            // Connect and immediately disconnect; the handler exits.
+            drop(CacheClient::connect(server.addr()).unwrap());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // One more connection triggers a reap pass in the accept loop.
+        let _keep = CacheClient::connect(server.addr()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let n = server.connections.lock().len();
+            if n <= 2 || std::time::Instant::now() > deadline {
+                assert!(n <= 2, "finished handles not reaped: {n} tracked");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_safe() {
+        let (mut server, _store, _clock) = start_server();
+        server.stop();
+        server.stop(); // second stop must not hang or panic
+    }
+
+    #[test]
+    fn observed_server_records_ops_and_connections() {
+        let store = Arc::new(Store::new(StoreConfig {
+            capacity_bytes: 4 << 20,
+            shards: 4,
+        }));
+        let clock = LogicalClock::new();
+        clock.set(42);
+        let obs = Arc::new(Obs::new());
+        let mut server = CacheServer::start_observed(
+            Arc::clone(&store),
+            Arc::clone(&clock),
+            "127.0.0.1:0",
+            Some(Arc::clone(&obs)),
+        )
+        .unwrap();
+        let mut client = CacheClient::connect(server.addr()).unwrap();
+        client.set("k", b"v", 0).unwrap();
+        assert!(client.get("k").unwrap().is_some());
+        assert!(client.get("missing").unwrap().is_none());
+        server.stop();
+        assert_eq!(obs.counter("server_connections_total").get(), 1);
+        assert_eq!(obs.counter("cache_store_total").get(), 1);
+        assert_eq!(obs.counter("cache_get_total").get(), 2);
+        assert_eq!(obs.counter("cache_get_hits_total").get(), 1);
+        assert_eq!(obs.counter("cache_get_misses_total").get(), 1);
+        assert!(obs.histogram("cache_op_latency_us").count() >= 3);
+        // Journal timestamps come from the logical clock, not wall time.
+        assert!(obs.journal().events().iter().all(|e| e.t == 42));
     }
 }

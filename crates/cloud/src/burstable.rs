@@ -8,6 +8,7 @@
 //! bursting exactly during failure recovery.
 
 use crate::catalog::{BurstSpec, InstanceType};
+use spotcache_obs::{Counter, Gauge, Obs};
 
 /// A generic token bucket with a guaranteed base rate and a burst rate.
 ///
@@ -119,6 +120,80 @@ impl TokenBucket {
         } else {
             self.level / (d - self.earn_rate)
         }
+    }
+
+    /// [`consume`](Self::consume), sampling the resulting token level and
+    /// any throttling into `observer`.
+    pub fn consume_observed(
+        &mut self,
+        demand: f64,
+        dt: f64,
+        observer: Option<&BucketObserver>,
+    ) -> f64 {
+        let achieved = self.consume(demand, dt);
+        if let Some(ob) = observer {
+            ob.sample_consume(self, demand, achieved);
+        }
+        achieved
+    }
+
+    /// [`idle`](Self::idle), sampling the resulting token level into
+    /// `observer`.
+    pub fn idle_observed(&mut self, dt: f64, observer: Option<&BucketObserver>) {
+        self.idle(dt);
+        if let Some(ob) = observer {
+            ob.sample_level(self);
+        }
+    }
+}
+
+/// Recording handles for one named bucket's observability series
+/// (`bucket_<name>_level`, `bucket_<name>_achieved_rate`,
+/// `bucket_<name>_throttles_total`).
+///
+/// The bucket itself stays `Copy` and obs-free; callers that want
+/// telemetry pass an observer into
+/// [`TokenBucket::consume_observed`]/[`idle_observed`](TokenBucket::idle_observed).
+pub struct BucketObserver {
+    level: Gauge,
+    achieved: Gauge,
+    throttles: Counter,
+}
+
+impl BucketObserver {
+    /// Creates the observer for bucket `name` (e.g. `"cpu"`, `"net"`) in
+    /// `obs`.
+    pub fn new(obs: &Obs, name: &str) -> Self {
+        Self {
+            level: obs.gauge(&format!("bucket_{name}_level")),
+            achieved: obs.gauge(&format!("bucket_{name}_achieved_rate")),
+            throttles: obs.counter(&format!("bucket_{name}_throttles_total")),
+        }
+    }
+
+    /// Records a consume outcome; counts a throttle when the achieved
+    /// rate fell short of the (peak-clamped) demand.
+    pub fn sample_consume(&self, bucket: &TokenBucket, demand: f64, achieved: f64) {
+        self.level.set(bucket.level);
+        self.achieved.set(achieved);
+        if self.throttled(bucket, demand, achieved) {
+            self.throttles.inc();
+        }
+    }
+
+    /// Records the current token level.
+    pub fn sample_level(&self, bucket: &TokenBucket) {
+        self.level.set(bucket.level);
+    }
+
+    /// Whether `achieved` falls short of the peak-clamped `demand`.
+    pub fn throttled(&self, bucket: &TokenBucket, demand: f64, achieved: f64) -> bool {
+        achieved + 1e-12 < demand.max(0.0).min(bucket.peak_rate)
+    }
+
+    /// Throttle count so far.
+    pub fn throttle_count(&self) -> u64 {
+        self.throttles.get()
     }
 }
 
@@ -348,5 +423,103 @@ mod tests {
     fn for_type_rejects_regular_instances() {
         assert!(BurstableState::for_type(&find_type("m4.large").unwrap()).is_none());
         assert!(BurstableState::for_type(&find_type("t2.large").unwrap()).is_some());
+    }
+
+    #[test]
+    fn observer_counts_throttles_and_tracks_level() {
+        let obs = spotcache_obs::Obs::new();
+        let observer = BucketObserver::new(&obs, "cpu");
+        let mut b = TokenBucket::new(10.0, 10.0, 0.1, 0.1, 1.0);
+        // Plenty of tokens: no throttle.
+        let a = b.consume_observed(1.0, 1.0, Some(&observer));
+        assert_eq!(a, 1.0);
+        assert_eq!(observer.throttle_count(), 0);
+        assert_eq!(obs.gauge("bucket_cpu_level").get(), b.level);
+        // Drain past exhaustion: throttled.
+        b.consume_observed(1.0, 1_000.0, Some(&observer));
+        assert_eq!(observer.throttle_count(), 1);
+        assert_eq!(obs.gauge("bucket_cpu_level").get(), 0.0);
+        // Idling refills and re-samples the level gauge.
+        b.idle_observed(10.0, Some(&observer));
+        assert!((obs.gauge("bucket_cpu_level").get() - 1.0).abs() < 1e-9);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig { cases: 64, ..Default::default() })]
+
+        /// `consume` never over-delivers, and the token level stays within
+        /// `[0, capacity]` under arbitrary consume/idle interleavings.
+        #[test]
+        fn consume_respects_demand_and_level_bounds(
+            initial in 0.0f64..200.0,
+            capacity in 1.0f64..200.0,
+            earn in 0.0f64..2.0,
+            base in 0.0f64..2.0,
+            peak_extra in 0.0f64..10.0,
+            steps in proptest::collection::vec((0u8..2, 0.0f64..12.0, 0.1f64..500.0), 1..40),
+        ) {
+            use proptest::prelude::*;
+            let peak = base.max(earn) + peak_extra;
+            let mut b = TokenBucket::new(initial, capacity, earn, base, peak);
+            prop_assert!((0.0..=capacity).contains(&b.level));
+            for (kind, demand, dt) in steps {
+                if kind == 0 {
+                    let achieved = b.consume(demand, dt);
+                    let clamped = demand.max(0.0).min(peak);
+                    prop_assert!(
+                        achieved <= clamped + 1e-9,
+                        "achieved {achieved} > demand {clamped}"
+                    );
+                    prop_assert!(achieved >= -1e-12);
+                } else {
+                    b.idle(dt);
+                }
+                prop_assert!(
+                    (-1e-9..=capacity + 1e-9).contains(&b.level),
+                    "level {} outside [0, {capacity}]",
+                    b.level
+                );
+            }
+        }
+
+        /// `burst_endurance` is consistent with actually consuming: demand
+        /// is fully met for any interval shorter than the endurance and
+        /// falls short once the interval exceeds it (when the base rate
+        /// cannot cover the demand).
+        #[test]
+        fn endurance_matches_consume_until_throttle(
+            initial in 1.0f64..500.0,
+            capacity in 500.0f64..1000.0,
+            earn in 0.0f64..1.0,
+            demand_extra in 0.1f64..5.0,
+        ) {
+            use proptest::prelude::*;
+            // base = earn (the EC2 CPU-credit shape) so post-exhaustion
+            // throughput genuinely drops below demand.
+            let base = earn;
+            let demand = earn + demand_extra;
+            let peak = demand + 1.0;
+            let b = TokenBucket::new(initial, capacity, earn, base, peak);
+            let endure = b.burst_endurance(demand);
+            prop_assert!(endure.is_finite() && endure > 0.0);
+
+            let mut within = b;
+            let achieved = within.consume(demand, endure * 0.9);
+            prop_assert!(
+                (achieved - demand).abs() < 1e-9,
+                "within endurance: achieved {achieved} != demand {demand}"
+            );
+
+            let mut beyond = b;
+            let achieved = beyond.consume(demand, endure * 1.5);
+            prop_assert!(
+                achieved < demand - 1e-12,
+                "beyond endurance: achieved {achieved} not < demand {demand}"
+            );
+            prop_assert!(beyond.level.abs() < 1e-9, "bucket must be exhausted");
+
+            // Sub-earn demand is sustainable forever.
+            prop_assert!(b.burst_endurance(earn * 0.5).is_infinite());
+        }
     }
 }

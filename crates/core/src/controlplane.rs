@@ -23,10 +23,13 @@
 //! All metering lands in [`spotcache_sim::metrics::ControlMetrics`], the
 //! unified result record.
 
+use std::sync::Arc;
+
 use crate::controller::{GlobalController, SlotPlan};
 use crate::Approach;
 use spotcache_cloud::spot::SpotTrace;
-use spotcache_optimizer::{SolveError, WorkloadForecast};
+use spotcache_obs::{EventKind, Obs};
+use spotcache_optimizer::{OfferKind, SolveError, WorkloadForecast};
 use spotcache_sim::engine::EventQueue;
 use spotcache_sim::metrics::ControlMetrics;
 
@@ -116,6 +119,11 @@ pub trait Substrate {
     /// training-window observations).
     fn warmup(&mut self, _controller: &mut GlobalController) {}
 
+    /// Hands the substrate an observability bundle to record its own
+    /// per-slot/per-step series into. Substrates that don't meter
+    /// anything keep the default no-op.
+    fn attach_obs(&mut self, _obs: Arc<Obs>) {}
+
     /// For substrates that pin a single peak-sized plan (the `OdPeak`
     /// baseline in the hourly simulation): the demand to plan once, up
     /// front, with no spot markets.
@@ -163,22 +171,39 @@ enum LoopEvent {
 /// The one driver for every substrate: schedules replans and steps on a
 /// [`EventQueue`], runs predict→optimize→act per slot, and keeps the
 /// [`GlobalController`]'s models fed.
-#[derive(Debug)]
 pub struct ControlLoop {
     controller: GlobalController,
     theta: f64,
+    obs: Option<Arc<Obs>>,
 }
 
 impl ControlLoop {
     /// Creates a loop around a controller with the paper's per-request
     /// latency budget `theta` (milliseconds).
     pub fn new(controller: GlobalController, theta: f64) -> Self {
-        Self { controller, theta }
+        Self {
+            controller,
+            theta,
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability bundle: the loop records per-cycle cost,
+    /// ζ, placement fractions, and bid/launch/revocation events into it,
+    /// and forwards it to the substrate via
+    /// [`Substrate::attach_obs`]. Timestamps are the loop's logical slot
+    /// times, so instrumented runs stay deterministic.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Drives `substrate` to completion and returns its metrics.
     pub fn run<S: Substrate>(mut self, substrate: S) -> Result<ControlMetrics, SolveError> {
         let mut substrate = Box::new(substrate);
+        if let Some(obs) = &self.obs {
+            substrate.attach_obs(Arc::clone(obs));
+        }
         let sched = substrate.schedule();
         let markets = substrate.markets();
         let refs: Vec<&SpotTrace> = markets.iter().collect();
@@ -206,7 +231,7 @@ impl ControlLoop {
             match event {
                 LoopEvent::Replan { slot } => {
                     revocations.extend(substrate.advance(t));
-                    self.ingest(&mut revocations);
+                    self.ingest(t, &mut revocations);
                     let obs = substrate.observe(t);
                     let plan = match &fixed_plan {
                         Some(p) => p.clone(),
@@ -215,13 +240,14 @@ impl ControlLoop {
                             self.controller.plan(&refs, t, self.theta, rate, wss)?
                         }
                     };
+                    self.record_plan(t, &plan, &obs);
                     revocations.extend(substrate.act(t, slot, &plan, &obs));
-                    self.ingest(&mut revocations);
+                    self.ingest(t, &mut revocations);
                     self.controller.observe(obs.actual.rate, obs.actual.wss_gb);
                 }
                 LoopEvent::Step { slot: _, step } => {
                     revocations.extend(substrate.step(t, step));
-                    self.ingest(&mut revocations);
+                    self.ingest(t, &mut revocations);
                 }
             }
         }
@@ -241,10 +267,76 @@ impl ControlLoop {
         }
     }
 
-    fn ingest(&mut self, events: &mut Vec<SubstrateEvent>) {
+    /// Records one solved cycle into the obs bundle: plan cost, the ζ
+    /// availability floor in force, hot/cold placement fractions, how
+    /// much hot data sits on spot, and one `BidPlaced` event per spot
+    /// offer plus `NodeLaunched`/`NodeDeallocated` events for churn.
+    fn record_plan(&self, t: u64, plan: &SlotPlan, obs: &Observation) {
+        let Some(o) = &self.obs else { return };
+        o.counter("control_replans_total").inc();
+        o.gauge("control_plan_cost_dollars").set(plan.alloc.cost);
+        o.gauge("control_zeta")
+            .set(self.controller.config().cost.zeta);
+        o.gauge("control_hot_frac").set(plan.hot_frac);
+        o.gauge("control_cold_frac").set(1.0 - plan.hot_frac);
+        o.gauge("control_hot_on_spot_frac")
+            .set(plan.alloc.hot_on_spot());
+        o.gauge("control_instances_total")
+            .set(f64::from(plan.alloc.total_instances()));
+        o.gauge("control_instances_spot")
+            .set(f64::from(plan.alloc.spot_instances()));
+        o.gauge("control_demand_rate").set(obs.actual.rate);
+        o.gauge("control_demand_wss_gb").set(obs.actual.wss_gb);
+        for entry in &plan.alloc.entries {
+            if entry.count > 0 {
+                if let OfferKind::Spot { bid, .. } = &entry.offer.kind {
+                    o.counter("control_bids_total").inc();
+                    o.event(
+                        t,
+                        EventKind::BidPlaced {
+                            label: entry.offer.label.clone(),
+                            bid: bid.0,
+                            count: u64::from(entry.count),
+                        },
+                    );
+                }
+            }
+            let delta = entry.delta();
+            if delta > 0 {
+                o.event(
+                    t,
+                    EventKind::NodeLaunched {
+                        label: entry.offer.label.clone(),
+                        count: delta as u64,
+                    },
+                );
+            } else if delta < 0 {
+                o.event(
+                    t,
+                    EventKind::NodeDeallocated {
+                        label: entry.offer.label.clone(),
+                        count: delta.unsigned_abs(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn ingest(&mut self, t: u64, events: &mut Vec<SubstrateEvent>) {
         for event in events.drain(..) {
             match event {
                 SubstrateEvent::Revoked { label, count } => {
+                    if let Some(o) = &self.obs {
+                        o.counter("control_revocations_total").add(u64::from(count));
+                        o.event(
+                            t,
+                            EventKind::Revocation {
+                                label: label.clone(),
+                                count: u64::from(count),
+                                warned: false,
+                            },
+                        );
+                    }
                     self.controller.on_revocation(&label, count);
                 }
             }

@@ -12,11 +12,14 @@
 //! copy for `Prop` — using the same [`WarmupModel`] as the recovery
 //! simulator.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use spotcache_cloud::spot::SpotTrace;
 use spotcache_cloud::{DAY, HOUR};
+use spotcache_obs::Obs;
 use spotcache_optimizer::problem::{OfferKind, SolveError, WorkloadForecast};
 use spotcache_sim::metrics::{ControlMetrics, LatencySample, SlotRecord};
 use spotcache_sim::{
@@ -111,6 +114,7 @@ pub struct MinutePrototype {
     backend_capacity_ops: f64,
     hour: Option<HourState>,
     metrics: ControlMetrics,
+    obs: Option<Arc<Obs>>,
 }
 
 impl MinutePrototype {
@@ -137,6 +141,7 @@ impl MinutePrototype {
             backend_capacity_ops: DEFAULT_BACKEND_CAPACITY_OPS,
             hour: None,
             metrics: ControlMetrics::new(),
+            obs: None,
         }
     }
 }
@@ -154,6 +159,10 @@ impl Substrate for MinutePrototype {
 
     fn markets(&self) -> Vec<SpotTrace> {
         vec![self.market.clone()]
+    }
+
+    fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
     }
 
     fn observe(&mut self, t: u64) -> Observation {
@@ -361,10 +370,17 @@ impl Substrate for MinutePrototype {
         self.metrics.latency.merge(&hist);
         let minute = (t - self.cfg.start_day * DAY) / 60;
         debug_assert_eq!(minute % 60, step);
+        let avg_us = hist.mean();
+        let p95_us = hist.quantile(0.95);
+        if let Some(o) = &self.obs {
+            o.gauge("proto_minute_avg_us").set(avg_us);
+            o.gauge("proto_minute_p95_us").set(p95_us);
+            o.histogram("proto_minute_avg_us_hist").record(avg_us);
+        }
         self.metrics.samples.push(LatencySample {
             step: minute,
-            avg_us: hist.mean(),
-            p95_us: hist.quantile(0.95),
+            avg_us,
+            p95_us,
         });
         events
     }

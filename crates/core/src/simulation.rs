@@ -10,10 +10,13 @@
 //! the paper's "% of days the performance target is violated" metric (a
 //! day is violated when > 1% of its requests are affected).
 
+use std::sync::Arc;
+
 use spotcache_cloud::billing::CostCategory;
 use spotcache_cloud::catalog::InstanceType;
 use spotcache_cloud::spot::SpotTrace;
 use spotcache_cloud::{DAY, HOUR};
+use spotcache_obs::Obs;
 use spotcache_optimizer::problem::{OfferKind, SolveError};
 use spotcache_sim::metrics::{ControlMetrics, SlotRecord};
 use spotcache_workload::wikipedia::WikipediaTrace;
@@ -109,6 +112,7 @@ pub struct HourlySim {
     emergency_rate: f64,
     start_hour: u64,
     metrics: ControlMetrics,
+    obs: Option<Arc<Obs>>,
 }
 
 impl HourlySim {
@@ -133,6 +137,7 @@ impl HourlySim {
             emergency_rate,
             start_hour,
             metrics: ControlMetrics::new(),
+            obs: None,
         }
     }
 }
@@ -156,6 +161,10 @@ impl Substrate for HourlySim {
             let t = h * HOUR;
             controller.observe(self.workload.rate_at(t), self.workload.wss_at(t));
         }
+    }
+
+    fn attach_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = Some(obs);
     }
 
     fn fixed_peak(&self) -> Option<Demand> {
@@ -330,16 +339,25 @@ impl Substrate for HourlySim {
             .violations
             .record((t / DAY) as usize, requests, affected);
 
+        let affected_frac = if requests > 0 {
+            affected as f64 / requests as f64
+        } else {
+            0.0
+        };
+        if let Some(o) = &self.obs {
+            o.gauge("sim_slot_cost_dollars").set(hour_cost);
+            o.gauge("sim_affected_frac").set(affected_frac);
+            o.gauge("sim_od_instances").set(f64::from(od_count));
+            o.counter("sim_revocations_total")
+                .add(u64::from(revoked_this_hour));
+            o.histogram("sim_slot_cost_hist").record(hour_cost);
+        }
         self.metrics.slots.push(SlotRecord {
             slot,
             od_count,
             spot_counts,
             revoked: revoked_this_hour,
-            affected_frac: if requests > 0 {
-                affected as f64 / requests as f64
-            } else {
-                0.0
-            },
+            affected_frac,
             cost: hour_cost,
         });
         events
@@ -354,9 +372,22 @@ impl Substrate for HourlySim {
 
 /// Runs the simulation of one approach over the given spot markets.
 pub fn simulate(cfg: &SimConfig, markets: &[SpotTrace]) -> Result<SimResult, SolveError> {
+    simulate_observed(cfg, markets, None)
+}
+
+/// [`simulate`], optionally recording into an observability bundle.
+pub fn simulate_observed(
+    cfg: &SimConfig,
+    markets: &[SpotTrace],
+    obs: Option<Arc<Obs>>,
+) -> Result<SimResult, SolveError> {
     let controller = GlobalController::new(cfg.controller.clone());
     let substrate = HourlySim::new(cfg.clone(), markets.to_vec());
-    ControlLoop::new(controller, cfg.theta).run(substrate)
+    let mut control = ControlLoop::new(controller, cfg.theta);
+    if let Some(obs) = obs {
+        control = control.with_obs(obs);
+    }
+    control.run(substrate)
 }
 
 #[cfg(test)]

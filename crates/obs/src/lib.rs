@@ -1,0 +1,141 @@
+//! Observability layer for spotcache: metrics registry, bounded event
+//! journal, and Prometheus/JSON snapshot exporters.
+//!
+//! The crate has three parts:
+//!
+//! * [`Registry`] — named [`Counter`]/[`Gauge`]/[`Histogram`] series with
+//!   lock-free recording and name-ordered (deterministic) enumeration.
+//! * [`Journal`] — a bounded ring of structured [`Event`]s
+//!   ([`EventKind`]: bids, revocations, node launches, warm-up progress,
+//!   bucket throttles, cache ops) with drop-oldest overflow.
+//! * [`export`] — Prometheus text exposition and a single-document JSON
+//!   snapshot, plus a small JSON validator for smoke tests.
+//!
+//! [`Obs`] bundles a registry and a journal behind one `Arc`-able handle;
+//! every instrumented layer takes an `Option<&Obs>` (or stores an
+//! `Option<Arc<Obs>>`) so the un-instrumented path stays zero-cost.
+//!
+//! # Determinism
+//!
+//! Instrumentation must never perturb simulation results, and snapshots
+//! from deterministic replays must compare byte-for-byte. Two rules make
+//! that hold:
+//!
+//! 1. Event timestamps come from the recording layer's **logical clock**
+//!    (substrate slot/step time, `Clock::now()`), never the wall clock.
+//! 2. Recording only *reads* simulation state; nothing downstream
+//!    branches on a metric value.
+
+mod journal;
+mod registry;
+
+pub mod export;
+
+pub use journal::{Event, EventKind, Journal, DEFAULT_JOURNAL_CAPACITY};
+pub use registry::{Counter, Gauge, Histogram, Metric, Registry};
+
+/// The bundle an instrumented layer holds: one registry + one journal.
+#[derive(Default)]
+pub struct Obs {
+    registry: Registry,
+    journal: Journal,
+}
+
+impl Obs {
+    /// Creates an empty bundle with the default journal capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bundle whose journal retains at most `capacity` events.
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Self {
+            registry: Registry::new(),
+            journal: Journal::with_capacity(capacity),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(name)
+    }
+
+    /// Appends `kind` to the journal at logical time `t`.
+    pub fn event(&self, t: u64, kind: EventKind) {
+        self.journal.record(t, kind);
+    }
+
+    /// Prometheus text exposition of every registered series.
+    pub fn prometheus_text(&self) -> String {
+        export::prometheus_text(&self.registry)
+    }
+
+    /// One JSON document with all series, events, and the drop count.
+    pub fn json_snapshot(&self) -> String {
+        export::json_snapshot(&self.registry, &self.journal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_roundtrip() {
+        let obs = Obs::new();
+        obs.counter("x").add(2);
+        obs.gauge("y").set(1.5);
+        obs.histogram("z").record(10.0);
+        obs.event(
+            5,
+            EventKind::NodeLaunched {
+                label: "t2.medium".into(),
+                count: 1,
+            },
+        );
+        let json = obs.json_snapshot();
+        export::validate_json(&json).unwrap();
+        assert!(json.contains("\"x\":2"));
+        assert!(json.contains("\"node_launched\""));
+        let text = obs.prometheus_text();
+        assert!(text.contains("x 2"));
+        assert!(text.contains("y 1.5"));
+    }
+
+    #[test]
+    fn journal_capacity_is_configurable() {
+        let obs = Obs::with_journal_capacity(2);
+        for t in 0..4 {
+            obs.event(
+                t,
+                EventKind::CacheOp {
+                    op: "set".into(),
+                    hit: true,
+                    latency_us: 1.0,
+                },
+            );
+        }
+        assert_eq!(obs.journal().len(), 2);
+        assert_eq!(obs.journal().dropped(), 2);
+    }
+}

@@ -23,8 +23,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use spotcache_cloud::burstable::BurstableState;
+use spotcache_cloud::burstable::{BucketObserver, BurstableState};
 use spotcache_cloud::catalog::InstanceType;
+use spotcache_obs::{EventKind, Obs};
 use spotcache_optimizer::latency::LatencyProfile;
 use spotcache_workload::zipf::PopularityModel;
 
@@ -258,8 +259,26 @@ impl WarmupModel {
     }
 }
 
+/// Seconds between `BackupWarmupProgress` journal events in an observed
+/// recovery run.
+const WARMUP_PROGRESS_EVERY_SECS: u64 = 30;
+
 /// Runs the recovery simulation.
 pub fn simulate_recovery(cfg: &RecoveryConfig) -> RecoveryTimeline {
+    simulate_recovery_observed(cfg, None)
+}
+
+/// [`simulate_recovery`], optionally recording per-second warmed mass,
+/// pump rate, and backup token-bucket levels into an observability
+/// bundle. Timestamps are the timeline's own seconds, so observed runs
+/// replay deterministically.
+pub fn simulate_recovery_observed(cfg: &RecoveryConfig, obs: Option<&Obs>) -> RecoveryTimeline {
+    let observers = obs.map(|o| {
+        (
+            BucketObserver::new(o, "backup_cpu"),
+            BucketObserver::new(o, "backup_net"),
+        )
+    });
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let item_bytes = cfg.profile.item_bytes;
     let hot_items = cfg.lost_hot_gb * (1u64 << 30) as f64 / item_bytes;
@@ -310,6 +329,7 @@ pub fn simulate_recovery(cfg: &RecoveryConfig) -> RecoveryTimeline {
         let r_ready = t >= cfg.replacement_ready_at;
 
         // Copy pump (only once R is up and a backup exists).
+        let mut pump_items_per_sec = 0.0;
         if r_ready && !hot.fully_copied() {
             match &cfg.backup {
                 BackupChoice::None => {}
@@ -318,17 +338,46 @@ pub fn simulate_recovery(cfg: &RecoveryConfig) -> RecoveryTimeline {
                         Some(b) => {
                             let v = b.cpu.run(itype.vcpus, 1.0);
                             let n = b.net.transmit(itype.net_mbps, 1.0);
+                            if let (Some(o), Some((cpu_ob, net_ob))) = (obs, observers.as_ref()) {
+                                cpu_ob.sample_consume(b.cpu.bucket(), itype.vcpus, v);
+                                net_ob.sample_consume(b.net.bucket(), itype.net_mbps, n);
+                                if cpu_ob.throttled(b.cpu.bucket(), itype.vcpus, v) {
+                                    o.event(
+                                        t,
+                                        EventKind::BucketThrottled {
+                                            bucket: "backup_cpu".into(),
+                                            demand: itype.vcpus,
+                                            achieved: v,
+                                        },
+                                    );
+                                }
+                                if net_ob.throttled(b.net.bucket(), itype.net_mbps, n) {
+                                    o.event(
+                                        t,
+                                        EventKind::BucketThrottled {
+                                            bucket: "backup_net".into(),
+                                            demand: itype.net_mbps,
+                                            achieved: n,
+                                        },
+                                    );
+                                }
+                            }
                             (v, n)
                         }
                         None => (itype.vcpus, itype.net_mbps),
                     };
                     let cpu_items = vcpus * COPY_ITEMS_PER_VCPU;
                     let net_items = net_mbps * 1e6 / 8.0 / item_bytes;
-                    hot.copy_step(cpu_items.min(net_items));
+                    pump_items_per_sec = cpu_items.min(net_items);
+                    hot.copy_step(pump_items_per_sec);
                 }
             }
         } else if let Some(b) = burst.as_mut() {
             b.idle(1.0);
+            if let Some((cpu_ob, net_ob)) = observers.as_ref() {
+                cpu_ob.sample_level(b.cpu.bucket());
+                net_ob.sample_level(b.net.bucket());
+            }
         }
 
         // Organic fill (needs R to be up to hold the refills) is throttled
@@ -436,6 +485,23 @@ pub fn simulate_recovery(cfg: &RecoveryConfig) -> RecoveryTimeline {
         let p95 = hist.quantile(0.95);
         if recovered_at.is_none() && avg <= 1.05 * healthy_avg_us && t > 0 {
             recovered_at = Some(t);
+        }
+        if let Some(o) = obs {
+            o.gauge("recovery_warmed_mass").set(warmed);
+            o.gauge("recovery_pump_items_per_s").set(pump_items_per_sec);
+            o.gauge("recovery_avg_us").set(avg);
+            o.histogram("recovery_step_avg_us_hist").record(avg);
+            // Journal a warm-up progress line periodically and at the
+            // moment the run crosses the recovered threshold.
+            if t % WARMUP_PROGRESS_EVERY_SECS == 0 || recovered_at == Some(t) {
+                o.event(
+                    t,
+                    EventKind::BackupWarmupProgress {
+                        warmed_mass: warmed,
+                        pump_items_per_sec,
+                    },
+                );
+            }
         }
         points.push(RecoveryPoint {
             t,

@@ -124,6 +124,36 @@ mod tests {
         residual_quantile(&[], 0.5);
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig { cases: 64, ..Default::default() })]
+
+        /// The residual quantile is monotone non-decreasing in `q`,
+        /// bounded by the longest run, and hits the exact endpoints
+        /// (0 at q=0, max run length at q=1).
+        #[test]
+        fn residual_quantile_monotone_in_q(
+            lens in proptest::collection::vec(0.5f64..5e4, 1..40),
+            qs in proptest::collection::vec(0.0f64..=1.0, 2..12),
+        ) {
+            use proptest::prelude::*;
+            let longest = lens.iter().cloned().fold(0.0f64, f64::max);
+            let mut sorted_q = qs;
+            sorted_q.sort_by(f64::total_cmp);
+            let mut prev = residual_quantile(&lens, sorted_q[0]);
+            for &q in &sorted_q[1..] {
+                let c = residual_quantile(&lens, q);
+                prop_assert!(
+                    c + 1e-9 >= prev,
+                    "quantile regressed: q={q} gave {c} < {prev}"
+                );
+                prop_assert!(c <= longest + 1e-9, "{c} exceeds longest run {longest}");
+                prev = c;
+            }
+            prop_assert!(residual_quantile(&lens, 0.0).abs() < 1e-9);
+            prop_assert!((residual_quantile(&lens, 1.0) - longest).abs() < 1e-6);
+        }
+    }
+
     #[test]
     fn uniform_runs_predict_percentile_of_residual() {
         let mut prices = Vec::new();

@@ -17,6 +17,7 @@
 //! * [`optimizer`] — the paper's online cost-minimizing procurement problem.
 //! * [`sim`] — discrete-event cluster simulation and recovery timelines.
 //! * [`core`] — the global controller and the six procurement approaches.
+//! * [`obs`] — metrics registry, structured event journal, and exporters.
 //!
 //! # Examples
 //!
@@ -33,6 +34,7 @@
 pub use spotcache_cache as cache;
 pub use spotcache_cloud as cloud;
 pub use spotcache_core as core;
+pub use spotcache_obs as obs;
 pub use spotcache_optimizer as optimizer;
 pub use spotcache_router as router;
 pub use spotcache_sim as sim;
