@@ -17,11 +17,18 @@ cargo clippy --workspace -- -D warnings
 
 echo "==> obs snapshot smoke test"
 snap="$(mktemp /tmp/obs_snapshot.XXXXXX.json)"
-trap 'rm -f "$snap"' EXIT
+lg="$(mktemp /tmp/cache_loadgen.XXXXXX.json)"
+trap 'rm -f "$snap" "$lg"' EXIT
 cargo run --release -q -p spotcache-bench --bin obs_snapshot -- --metrics-out "$snap" \
     | grep -q "snapshot OK"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$snap" 2>/dev/null \
     || { echo "obs snapshot is not valid JSON"; exit 1; }
+
+echo "==> cache_loadgen smoke test"
+cargo run --release -q -p spotcache-bench --bin cache_loadgen -- --smoke --out "$lg" \
+    | grep -q "loadgen OK"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$lg" 2>/dev/null \
+    || { echo "loadgen snapshot is not valid JSON"; exit 1; }
 
 echo "==> cargo fmt --check"
 cargo fmt --check

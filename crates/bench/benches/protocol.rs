@@ -1,0 +1,148 @@
+//! Microbenchmarks for the protocol hot path: `parse_request` and the
+//! pipelined `serve_into` loop over canned buffers, with an allocation
+//! counter so protocol-layer allocation regressions are caught
+//! independently of the end-to-end loadgen number.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use spotcache_cache::protocol::{parse_request, serve_into};
+use spotcache_cache::store::{Store, StoreConfig};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const CMDS: usize = 64;
+
+/// A canned pipelined buffer: alternating single-key get hits, multi-key
+/// gets, misses, and sets — the production command mix.
+fn canned_buffer(with_sets: bool) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for i in 0..CMDS {
+        match i % 4 {
+            0 => buf.extend_from_slice(format!("get key{}\r\n", i % 16).as_bytes()),
+            1 => buf.extend_from_slice(
+                format!("get key{} key{} missing{i}\r\n", i % 16, (i + 5) % 16).as_bytes(),
+            ),
+            2 => buf.extend_from_slice(format!("get absent{i}\r\n").as_bytes()),
+            _ if with_sets => buf.extend_from_slice(
+                format!("set key{} 0 0 32\r\n{}\r\n", i % 16, "v".repeat(32)).as_bytes(),
+            ),
+            _ => buf.extend_from_slice(format!("get key{}\r\n", (i + 1) % 16).as_bytes()),
+        }
+    }
+    buf
+}
+
+fn prefilled_store() -> Store {
+    let store = Store::new(StoreConfig {
+        capacity_bytes: 4 << 20,
+        shards: 8,
+    });
+    let mut prefill = Vec::new();
+    for i in 0..16 {
+        prefill
+            .extend_from_slice(format!("set key{i} 0 0 32\r\n{}\r\n", "v".repeat(32)).as_bytes());
+    }
+    let mut out = Vec::new();
+    serve_into(&store, &prefill, 0, &mut out);
+    store
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    let buf = canned_buffer(true);
+    g.throughput(Throughput::Elements(CMDS as u64));
+    g.bench_function("parse_pipelined_64", |b| {
+        b.iter(|| {
+            let mut consumed = 0;
+            let mut n_cmds = 0u32;
+            while consumed < buf.len() {
+                let (req, n) = parse_request(black_box(&buf[consumed..])).unwrap();
+                black_box(&req);
+                consumed += n;
+                n_cmds += 1;
+            }
+            n_cmds
+        })
+    });
+    g.finish();
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.throughput(Throughput::Elements(CMDS as u64));
+
+    let store = prefilled_store();
+    let reads = canned_buffer(false);
+    let mut out = Vec::new();
+    g.bench_function("serve_pipelined_64_reads", |b| {
+        b.iter(|| {
+            out.clear();
+            serve_into(&store, black_box(&reads), 0, &mut out);
+            out.len()
+        })
+    });
+
+    let mixed = canned_buffer(true);
+    g.bench_function("serve_pipelined_64_mixed", |b| {
+        b.iter(|| {
+            out.clear();
+            serve_into(&store, black_box(&mixed), 0, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+
+    // Allocation accounting: after warm-up, the read path must be
+    // allocation-free; regressions fail the bench run.
+    for _ in 0..3 {
+        out.clear();
+        serve_into(&store, &reads, 0, &mut out);
+    }
+    const ITERS: u64 = 1_000;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..ITERS {
+        out.clear();
+        serve_into(&store, &reads, 0, &mut out);
+    }
+    let per_cmd = (ALLOCS.load(Ordering::Relaxed) - before) as f64 / (ITERS * CMDS as u64) as f64;
+    println!("protocol/serve_pipelined_64_reads: {per_cmd:.4} allocs/command");
+    assert_eq!(per_cmd, 0.0, "read-path allocation regression");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..ITERS {
+        out.clear();
+        serve_into(&store, &mixed, 0, &mut out);
+    }
+    let per_cmd = (ALLOCS.load(Ordering::Relaxed) - before) as f64 / (ITERS * CMDS as u64) as f64;
+    println!(
+        "protocol/serve_pipelined_64_mixed: {per_cmd:.4} allocs/command (store-side copies only)"
+    );
+}
+
+criterion_group!(benches, bench_parse, bench_serve);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! cache_loadgen: a pipelined Zipf get/set load generator for the cache
+//! data plane.
+//!
+//! Starts the in-process worker-pool [`CacheServer`], prefills a Zipf key
+//! space, then drives two phases over real TCP connections:
+//!
+//! 1. **baseline** — one command per write/read round trip (the
+//!    single-command-per-syscall path), and
+//! 2. **pipelined** — batches of commands per write, responses drained in
+//!    bulk (the batch-and-shard path).
+//!
+//! Both phases run the same 90/10 get/set mix over a ScrambledZipfian key
+//! popularity (θ=0.99, YCSB-style) with a fixed seed, report ops/s and
+//! p50/p95/p99 per-op latency through `spotcache-obs`, and the snapshot is
+//! written to `BENCH_cache.json` (checked in) so future PRs inherit a perf
+//! trajectory. The pipelined phase is expected to beat baseline by ≥2×.
+//!
+//! Flags: `--smoke` (small fixed-seed run with an ops/s floor for CI),
+//! `--out PATH` (default `BENCH_cache.json`), `--seed N`, `--conns N`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spotcache_bench::heading;
+use spotcache_cache::protocol::serve;
+use spotcache_cache::server::{CacheServer, LogicalClock, ServerConfig};
+use spotcache_cache::store::{Store, StoreConfig};
+use spotcache_obs::export::validate_json;
+use spotcache_obs::Obs;
+use spotcache_workload::zipf::ScrambledZipfian;
+
+/// Value payload: CRLF-free filler so response framing is unambiguous.
+const VALUE_LEN: usize = 100;
+/// Fraction of operations that are gets (the rest are sets).
+const GET_RATIO: f64 = 0.9;
+/// Commands per write in the pipelined phase.
+const PIPELINE_DEPTH: usize = 64;
+
+struct Config {
+    smoke: bool,
+    out: String,
+    seed: u64,
+    conns: usize,
+    key_space: u64,
+    baseline_ops: usize,
+    pipelined_batches: usize,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut smoke = false;
+        let mut out = "BENCH_cache.json".to_string();
+        let mut seed = 42u64;
+        let mut conns: Option<usize> = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => smoke = true,
+                "--out" => out = args.next().expect("--out needs a path"),
+                "--seed" => seed = args.next().expect("--seed needs a value").parse().unwrap(),
+                "--conns" => {
+                    conns = Some(args.next().expect("--conns needs a value").parse().unwrap())
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        if smoke {
+            Self {
+                smoke,
+                out,
+                seed,
+                conns: conns.unwrap_or(2),
+                key_space: 2_000,
+                baseline_ops: 300,
+                pipelined_batches: 20,
+            }
+        } else {
+            Self {
+                smoke,
+                out,
+                seed,
+                conns: conns.unwrap_or(4),
+                key_space: 10_000,
+                baseline_ops: 2_000,
+                pipelined_batches: 100,
+            }
+        }
+    }
+}
+
+/// Appends one sampled command to `buf`. Returns `true` for a get.
+fn push_op(buf: &mut Vec<u8>, zipf: &ScrambledZipfian, rng: &mut StdRng, value: &str) -> bool {
+    let key = zipf.sample(rng);
+    if rng.gen_range(0.0..1.0) < GET_RATIO {
+        buf.extend_from_slice(format!("get key{key}\r\n").as_bytes());
+        true
+    } else {
+        buf.extend_from_slice(format!("set key{key} 0 0 {VALUE_LEN}\r\n{value}\r\n").as_bytes());
+        false
+    }
+}
+
+/// Counts complete responses in `resp`: every command produces exactly one
+/// `END\r\n` (get) or `STORED\r\n` (set) terminator, and neither string can
+/// occur inside keys or the CRLF-free filler values.
+fn count_responses(resp: &[u8]) -> usize {
+    let count = |pat: &[u8]| resp.windows(pat.len()).filter(|w| *w == pat).count();
+    count(b"END\r\n") + count(b"STORED\r\n")
+}
+
+/// Drives one connection for one phase; returns per-batch round-trip
+/// times in microseconds.
+fn drive(
+    addr: SocketAddr,
+    zipf: &ScrambledZipfian,
+    seed: u64,
+    batches: usize,
+    depth: usize,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let value = "x".repeat(VALUE_LEN);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut req = Vec::new();
+    let mut resp = Vec::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut rtts = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        req.clear();
+        for _ in 0..depth {
+            push_op(&mut req, zipf, &mut rng, &value);
+        }
+        let start = Instant::now();
+        stream.write_all(&req).expect("write");
+        resp.clear();
+        while count_responses(&resp) < depth {
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed mid-batch");
+            resp.extend_from_slice(&chunk[..n]);
+        }
+        rtts.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    rtts
+}
+
+/// Runs one phase across `conns` connections; returns aggregate ops/s.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    name: &str,
+    addr: SocketAddr,
+    obs: &Obs,
+    key_space: u64,
+    seed: u64,
+    conns: usize,
+    batches: usize,
+    depth: usize,
+) -> f64 {
+    let hist = obs.histogram(&format!("loadgen_{name}_op_us"));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|t| {
+            let zipf = ScrambledZipfian::new(key_space, 0.99);
+            let seed = seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
+            std::thread::spawn(move || drive(addr, &zipf, seed, batches, depth))
+        })
+        .collect();
+    let mut total_ops = 0usize;
+    for h in handles {
+        let rtts = h.join().expect("loadgen thread");
+        total_ops += rtts.len() * depth;
+        for rtt in rtts {
+            // Per-op latency: the batch round trip amortized over its
+            // commands (exact for depth 1).
+            hist.record(rtt / depth as f64);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let ops_per_sec = total_ops as f64 / elapsed;
+    println!(
+        "{name}: {total_ops} ops over {conns} conns in {elapsed:.3}s -> {ops_per_sec:.0} ops/s \
+         (p50 {:.1}us p95 {:.1}us p99 {:.1}us)",
+        hist.quantile(0.5),
+        hist.quantile(0.95),
+        hist.quantile(0.99),
+    );
+    obs.gauge(&format!("loadgen_{name}_ops_per_sec"))
+        .set(ops_per_sec);
+    obs.gauge(&format!("loadgen_{name}_p50_us"))
+        .set(hist.quantile(0.5));
+    obs.gauge(&format!("loadgen_{name}_p95_us"))
+        .set(hist.quantile(0.95));
+    obs.gauge(&format!("loadgen_{name}_p99_us"))
+        .set(hist.quantile(0.99));
+    ops_per_sec
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    heading("Cache data-plane load generator");
+
+    let store = Arc::new(Store::new(StoreConfig {
+        capacity_bytes: 256 << 20,
+        shards: 8,
+    }));
+
+    // Prefill the whole key space through the protocol (so values carry
+    // the wire flag prefix) — the get side of the mix then mostly hits.
+    let value = "x".repeat(VALUE_LEN);
+    let mut prefill = Vec::new();
+    for k in 0..cfg.key_space {
+        prefill.extend_from_slice(format!("set key{k} 0 0 {VALUE_LEN}\r\n{value}\r\n").as_bytes());
+    }
+    let (_, consumed) = serve(&store, &prefill, 0);
+    assert_eq!(consumed, prefill.len(), "prefill must parse cleanly");
+    println!("prefilled {} keys x {VALUE_LEN}B", cfg.key_space);
+
+    let clock = LogicalClock::new();
+    let mut server = CacheServer::start_with(
+        Arc::clone(&store),
+        clock,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        None,
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    let obs = Obs::new();
+    obs.gauge("loadgen_conns").set(cfg.conns as f64);
+    obs.gauge("loadgen_key_space").set(cfg.key_space as f64);
+    obs.gauge("loadgen_pipeline_depth")
+        .set(PIPELINE_DEPTH as f64);
+    obs.gauge("loadgen_get_ratio").set(GET_RATIO);
+    obs.gauge("loadgen_seed").set(cfg.seed as f64);
+    obs.gauge("loadgen_smoke").set(cfg.smoke as u64 as f64);
+
+    // Phase 1: one command per syscall round trip.
+    let baseline = run_phase(
+        "baseline",
+        addr,
+        &obs,
+        cfg.key_space,
+        cfg.seed,
+        cfg.conns,
+        cfg.baseline_ops,
+        1,
+    );
+    // Phase 2: the same mix, pipelined.
+    let pipelined = run_phase(
+        "pipelined",
+        addr,
+        &obs,
+        cfg.key_space,
+        cfg.seed + 1,
+        cfg.conns,
+        cfg.pipelined_batches,
+        PIPELINE_DEPTH,
+    );
+    server.stop();
+
+    let speedup = pipelined / baseline;
+    obs.gauge("loadgen_pipeline_speedup").set(speedup);
+    println!("pipeline speedup: {speedup:.2}x");
+
+    let snap = store.snapshot();
+    println!(
+        "store after run: {} items, {} used bytes, {} hits / {} misses",
+        snap.items, snap.used_bytes, snap.stats.hits, snap.stats.misses
+    );
+
+    let json = obs.json_snapshot();
+    validate_json(&json).unwrap_or_else(|at| panic!("snapshot JSON invalid at byte {at}"));
+    std::fs::write(&cfg.out, &json).expect("write snapshot");
+    println!("wrote {}", cfg.out);
+
+    if cfg.smoke {
+        // Conservative floors for a loaded single-core CI box.
+        assert!(
+            baseline > 1_000.0,
+            "baseline throughput floor violated: {baseline:.0} ops/s"
+        );
+        assert!(
+            pipelined > 10_000.0,
+            "pipelined throughput floor violated: {pipelined:.0} ops/s"
+        );
+    } else {
+        assert!(
+            speedup >= 2.0,
+            "pipelining must be >=2x over per-syscall baseline, got {speedup:.2}x"
+        );
+    }
+    println!("loadgen OK");
+}

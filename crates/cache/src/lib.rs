@@ -14,7 +14,15 @@
 //!   unit the router places data on and the simulator kills on revocation,
 //!   and
 //! * [`protocol`] — the memcached text protocol (parse / execute / encode)
-//!   so a node can be driven with real wire traffic.
+//!   so a node can be driven with real wire traffic, and
+//! * [`server`] — a worker-pool TCP server multiplexing nonblocking
+//!   connections over the protocol codec.
+//!
+//! The data plane is built for pipelined batches: [`protocol::parse_request`]
+//! borrows keys and data from the input buffer, [`protocol::serve_into`]
+//! appends responses to a reusable output buffer, and runs of pipelined
+//! `get`s execute through [`store::Store::get_many_into`] taking each
+//! shard lock once per batch (see DESIGN.md §"data plane").
 
 pub mod lru;
 pub mod node;
@@ -25,7 +33,10 @@ pub mod store;
 
 pub use lru::LruList;
 pub use node::CacheNode;
-pub use protocol::{execute, parse, serve, Command, ParseError, StoreVerb};
-pub use server::{CacheClient, CacheServer, Clock, LogicalClock, SystemClock};
+pub use protocol::{
+    execute, execute_into, parse, parse_request, serve, serve_into, serve_observed,
+    serve_observed_into, Command, ParseError, ProtocolObs, Request, StoreVerb,
+};
+pub use server::{CacheClient, CacheServer, Clock, LogicalClock, ServerConfig, SystemClock};
 pub use slab::{slab_efficiency, SlabAllocator, SlabClasses, SlabError};
-pub use store::{CacheStats, Store, StoreConfig};
+pub use store::{CacheStats, SetOutcome, SetPolicy, Store, StoreConfig, StoreSnapshot};

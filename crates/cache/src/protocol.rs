@@ -13,18 +13,41 @@
 //! incr/decr <key> <delta>\r\n                         -> <value> | NOT_FOUND
 //! flush_all\r\n                                       -> OK
 //! version\r\n                                         -> VERSION ...
+//! stats\r\n                                           -> STAT ... END
 //! ```
 //!
 //! Flags are stored with the value (memcached treats them as opaque);
 //! expiry uses the store's logical clock.
+//!
+//! # Data-plane hot path
+//!
+//! The serving path is built for pipelined batches and buffer reuse:
+//!
+//! * [`parse_request`] yields a **borrowed** [`Request`] whose keys and
+//!   data are slices of the input buffer — no copies, no allocations.
+//!   The owned [`Command`] (and [`parse`]) remain for callers that need
+//!   to keep a request beyond its buffer.
+//! * [`serve_into`] / [`serve_observed_into`] append responses to a
+//!   caller-owned `&mut Vec<u8>`, so a connection reuses one output
+//!   buffer for its whole lifetime.
+//! * Consecutive pipelined `get` commands are executed **as one batch**
+//!   through [`Store::get_many_into`], which takes each shard lock once
+//!   per batch instead of once per key. Values stay refcounted
+//!   [`bytes::Bytes`] until the response writer copies them into the
+//!   output buffer.
+//! * Response encoding never heap-allocates for hits, misses, `STORED`,
+//!   `DELETED`, or error lines: integers are formatted through a stack
+//!   buffer and all sentinel lines are static. (`stats` and the rare
+//!   arithmetic error paths may allocate; they are off the hot path.)
 
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
 use spotcache_obs::{Counter, EventKind, Histogram, Obs};
 
-use crate::store::Store;
+use crate::store::{SetOutcome, SetPolicy, Store};
 
 /// Maximum key length accepted (memcached's limit).
 pub const MAX_KEY_LEN: usize = 250;
@@ -33,7 +56,8 @@ pub const MAX_KEY_LEN: usize = 250;
 /// TTLs (the memcached text protocol's 30-day cutoff).
 pub const EXPTIME_ABSOLUTE_CUTOFF: u64 = 60 * 60 * 24 * 30;
 
-/// A parsed request.
+/// A parsed request that owns its keys and data (survives the input
+/// buffer). The serving hot path uses the borrowed [`Request`] instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// `get`/`gets` over one or more keys.
@@ -93,6 +117,109 @@ pub enum StoreVerb {
     Replace,
 }
 
+/// A request parsed without copying: every key and data block is a slice
+/// of the input buffer. This is what the pipelined serving loop executes;
+/// convert with [`Request::to_command`] when the request must outlive its
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// `get`/`gets`: the raw space-separated key list (already validated;
+    /// iterate it with [`request_keys`]).
+    Get {
+        /// Raw key-list tail of the command line.
+        keys: &'a [u8],
+    },
+    /// A storage command (`set`, `add`, `replace`).
+    Store {
+        /// Which storage semantic.
+        verb: StoreVerb,
+        /// The key.
+        key: &'a [u8],
+        /// Opaque client flags.
+        flags: u32,
+        /// Expiry in seconds (0 = never).
+        exptime: u64,
+        /// The value payload.
+        data: &'a [u8],
+        /// `noreply` suppression.
+        noreply: bool,
+    },
+    /// `delete <key>`.
+    Delete {
+        /// The key.
+        key: &'a [u8],
+        /// `noreply` suppression.
+        noreply: bool,
+    },
+    /// `incr`/`decr <key> <delta>`.
+    Arith {
+        /// The key.
+        key: &'a [u8],
+        /// Delta magnitude.
+        delta: u64,
+        /// `true` for incr, `false` for decr.
+        increment: bool,
+        /// `noreply` suppression.
+        noreply: bool,
+    },
+    /// `flush_all`.
+    FlushAll,
+    /// `version`.
+    Version,
+    /// `stats`.
+    Stats,
+}
+
+impl Request<'_> {
+    /// Deep-copies into an owned [`Command`].
+    pub fn to_command(&self) -> Command {
+        match *self {
+            Request::Get { keys } => Command::Get {
+                keys: request_keys(keys).map(Bytes::copy_from_slice).collect(),
+            },
+            Request::Store {
+                verb,
+                key,
+                flags,
+                exptime,
+                data,
+                noreply,
+            } => Command::Store {
+                verb,
+                key: Bytes::copy_from_slice(key),
+                flags,
+                exptime,
+                data: Bytes::copy_from_slice(data),
+                noreply,
+            },
+            Request::Delete { key, noreply } => Command::Delete {
+                key: Bytes::copy_from_slice(key),
+                noreply,
+            },
+            Request::Arith {
+                key,
+                delta,
+                increment,
+                noreply,
+            } => Command::Arith {
+                key: Bytes::copy_from_slice(key),
+                delta,
+                increment,
+                noreply,
+            },
+            Request::FlushAll => Command::FlushAll,
+            Request::Version => Command::Version,
+            Request::Stats => Command::Stats,
+        }
+    }
+}
+
+/// Iterates the keys of a `get` key-list tail (as produced by
+/// [`Request::Get`]), skipping runs of spaces.
+pub fn request_keys(raw: &[u8]) -> impl Iterator<Item = &[u8]> + Clone {
+    raw.split(|&b| b == b' ').filter(|p| !p.is_empty())
+}
+
 /// Parse errors, rendered as memcached `CLIENT_ERROR`/`ERROR` lines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
@@ -121,12 +248,13 @@ fn valid_key(k: &[u8]) -> bool {
     !k.is_empty() && k.len() <= MAX_KEY_LEN && k.iter().all(|&b| b > 32 && b != 127)
 }
 
-/// Parses one request from `input`.
+/// Parses one request from `input` without copying: keys and data in the
+/// returned [`Request`] borrow from `input`.
 ///
-/// Returns the command and the number of bytes consumed, or
+/// Returns the request and the number of bytes consumed, or
 /// [`ParseError::Incomplete`] when more input is needed — the contract a
 /// streaming reader wants.
-pub fn parse(input: &[u8]) -> Result<(Command, usize), ParseError> {
+pub fn parse_request(input: &[u8]) -> Result<(Request<'_>, usize), ParseError> {
     let line_end = find_crlf(input).ok_or(ParseError::Incomplete)?;
     let line = &input[..line_end];
     let mut consumed = line_end + 2;
@@ -135,14 +263,21 @@ pub fn parse(input: &[u8]) -> Result<(Command, usize), ParseError> {
 
     match verb {
         b"get" | b"gets" => {
-            let keys: Vec<Bytes> = parts.map(Bytes::copy_from_slice).collect();
-            if keys.is_empty() {
+            // The key list is the raw tail of the line after the verb;
+            // iterate it in place rather than collecting.
+            let tail_start = (verb.as_ptr() as usize - line.as_ptr() as usize) + verb.len();
+            let keys = &line[tail_start..];
+            let mut any = false;
+            for k in request_keys(keys) {
+                if !valid_key(k) {
+                    return Err(ParseError::BadKey);
+                }
+                any = true;
+            }
+            if !any {
                 return Err(ParseError::BadLine("get needs at least one key"));
             }
-            if keys.iter().any(|k| !valid_key(k)) {
-                return Err(ParseError::BadKey);
-            }
-            Ok((Command::Get { keys }, consumed))
+            Ok((Request::Get { keys }, consumed))
         }
         b"set" | b"add" | b"replace" => {
             let sv = match verb {
@@ -171,12 +306,12 @@ pub fn parse(input: &[u8]) -> Result<(Command, usize), ParseError> {
             }
             consumed += bytes + 2;
             Ok((
-                Command::Store {
+                Request::Store {
                     verb: sv,
-                    key: Bytes::copy_from_slice(key),
+                    key,
                     flags,
                     exptime,
-                    data: Bytes::copy_from_slice(data),
+                    data,
                     noreply,
                 },
                 consumed,
@@ -188,13 +323,7 @@ pub fn parse(input: &[u8]) -> Result<(Command, usize), ParseError> {
                 return Err(ParseError::BadKey);
             }
             let noreply = matches!(parts.next(), Some(b"noreply"));
-            Ok((
-                Command::Delete {
-                    key: Bytes::copy_from_slice(key),
-                    noreply,
-                },
-                consumed,
-            ))
+            Ok((Request::Delete { key, noreply }, consumed))
         }
         b"incr" | b"decr" => {
             let key = parts.next().ok_or(ParseError::BadLine("missing key"))?;
@@ -205,8 +334,8 @@ pub fn parse(input: &[u8]) -> Result<(Command, usize), ParseError> {
                 .ok_or(ParseError::BadLine("bad delta"))?;
             let noreply = matches!(parts.next(), Some(b"noreply"));
             Ok((
-                Command::Arith {
-                    key: Bytes::copy_from_slice(key),
+                Request::Arith {
+                    key,
                     delta,
                     increment: verb == b"incr",
                     noreply,
@@ -214,11 +343,20 @@ pub fn parse(input: &[u8]) -> Result<(Command, usize), ParseError> {
                 consumed,
             ))
         }
-        b"flush_all" => Ok((Command::FlushAll, consumed)),
-        b"version" => Ok((Command::Version, consumed)),
-        b"stats" => Ok((Command::Stats, consumed)),
+        b"flush_all" => Ok((Request::FlushAll, consumed)),
+        b"version" => Ok((Request::Version, consumed)),
+        b"stats" => Ok((Request::Stats, consumed)),
         _ => Err(ParseError::UnknownCommand),
     }
+}
+
+/// Parses one request from `input` into an owned [`Command`].
+///
+/// Returns the command and the number of bytes consumed, or
+/// [`ParseError::Incomplete`] when more input is needed.
+pub fn parse(input: &[u8]) -> Result<(Command, usize), ParseError> {
+    let (req, n) = parse_request(input)?;
+    Ok((req.to_command(), n))
 }
 
 fn find_crlf(input: &[u8]) -> Option<usize> {
@@ -246,25 +384,261 @@ fn decode_value(raw: &[u8]) -> Option<(u32, &[u8])> {
     Some((flags, &raw[4..]))
 }
 
+/// Decimal digits of a `u64` rendered into a stack buffer (the response
+/// writer's allocation-free integer formatter).
+struct U64Digits {
+    buf: [u8; 20],
+    start: usize,
+}
+
+impl U64Digits {
+    fn new(mut v: u64) -> Self {
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        Self { buf, start: i }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(U64Digits::new(v).as_slice());
+}
+
+/// Appends one `VALUE <key> <flags> <len>\r\n<data>\r\n` block.
+fn write_value_line(out: &mut Vec<u8>, key: &[u8], flags: u32, data: &[u8]) {
+    out.extend_from_slice(b"VALUE ");
+    out.extend_from_slice(key);
+    out.push(b' ');
+    write_u64(out, flags as u64);
+    out.push(b' ');
+    write_u64(out, data.len() as u64);
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends the wire rendering of a parse error (matches the `Display`
+/// impl followed by CRLF, without allocating).
+fn write_parse_error(out: &mut Vec<u8>, e: &ParseError) {
+    match e {
+        ParseError::UnknownCommand => out.extend_from_slice(b"ERROR\r\n"),
+        ParseError::BadLine(m) => {
+            out.extend_from_slice(b"CLIENT_ERROR ");
+            out.extend_from_slice(m.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        ParseError::BadKey => out.extend_from_slice(b"CLIENT_ERROR bad key\r\n"),
+        ParseError::Incomplete => out.extend_from_slice(b"CLIENT_ERROR incomplete request\r\n"),
+    }
+}
+
+/// Memcached exptime semantics: 0 never expires, values up to 30 days are
+/// relative TTLs, larger values are absolute Unix timestamps (converted
+/// against the logical clock; an already-past timestamp yields a zero
+/// TTL, i.e. immediately expired).
+fn ttl_from_exptime(exptime: u64, now: u64) -> Option<u64> {
+    match exptime {
+        0 => None,
+        e if e > EXPTIME_ABSOLUTE_CUTOFF => Some(e.saturating_sub(now)),
+        e => Some(e),
+    }
+}
+
+/// What an executed command was, for observability recording.
+struct OpReport {
+    op: &'static str,
+    hit: bool,
+}
+
+/// Executes a single non-`get` request, appending its response to `out`.
+/// (`get`s are executed in batches by the serving loop; [`execute_into`]
+/// has its own per-key path for the owned API.)
+fn exec_mutation(store: &Store, req: &Request<'_>, now: u64, out: &mut Vec<u8>) -> OpReport {
+    match *req {
+        Request::Get { .. } => {
+            debug_assert!(false, "gets are executed via the batch path");
+            OpReport {
+                op: "get",
+                hit: false,
+            }
+        }
+        Request::Store {
+            verb,
+            key,
+            flags,
+            exptime,
+            data,
+            noreply,
+        } => {
+            let policy = match verb {
+                StoreVerb::Set => SetPolicy::Always,
+                StoreVerb::Add => SetPolicy::IfAbsent,
+                StoreVerb::Replace => SetPolicy::IfPresent,
+            };
+            // Presence check and insertion happen under one shard lock.
+            let outcome = store.set_policy_at(
+                Bytes::copy_from_slice(key),
+                encode_value(flags, data),
+                now,
+                ttl_from_exptime(exptime, now),
+                policy,
+            );
+            if !noreply {
+                out.extend_from_slice(match outcome {
+                    SetOutcome::Stored => b"STORED\r\n".as_ref(),
+                    SetOutcome::NotStored => b"NOT_STORED\r\n".as_ref(),
+                    // An over-budget item is rejected by the store; surface
+                    // that as memcached's SERVER_ERROR.
+                    SetOutcome::TooLarge => b"SERVER_ERROR object too large for cache\r\n".as_ref(),
+                });
+            }
+            OpReport {
+                op: "store",
+                hit: outcome == SetOutcome::Stored,
+            }
+        }
+        Request::Delete { key, noreply } => {
+            let found = store.delete(key);
+            if !noreply {
+                out.extend_from_slice(if found {
+                    b"DELETED\r\n".as_ref()
+                } else {
+                    b"NOT_FOUND\r\n".as_ref()
+                });
+            }
+            OpReport {
+                op: "delete",
+                hit: found,
+            }
+        }
+        Request::Arith {
+            key,
+            delta,
+            increment,
+            noreply,
+        } => {
+            let mut ok = false;
+            match store.get_at(key, now) {
+                Some(raw) => {
+                    let numeric = decode_value(&raw).and_then(|(f, d)| {
+                        std::str::from_utf8(d)
+                            .ok()
+                            .and_then(|s| s.trim().parse::<u64>().ok())
+                            .map(|v| (f, v))
+                    });
+                    match numeric {
+                        Some((flags, value)) => {
+                            let newv = if increment {
+                                value.wrapping_add(delta)
+                            } else {
+                                value.saturating_sub(delta)
+                            };
+                            let digits = U64Digits::new(newv);
+                            store.set_at(
+                                Bytes::copy_from_slice(key),
+                                encode_value(flags, digits.as_slice()),
+                                now,
+                                None,
+                            );
+                            if !noreply {
+                                out.extend_from_slice(digits.as_slice());
+                                out.extend_from_slice(b"\r\n");
+                            }
+                            ok = true;
+                        }
+                        None => {
+                            if !noreply {
+                                out.extend_from_slice(
+                                    b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n",
+                                );
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if !noreply {
+                        out.extend_from_slice(b"NOT_FOUND\r\n");
+                    }
+                }
+            }
+            OpReport {
+                op: "arith",
+                hit: ok,
+            }
+        }
+        Request::FlushAll => {
+            store.clear();
+            out.extend_from_slice(b"OK\r\n");
+            OpReport {
+                op: "other",
+                hit: true,
+            }
+        }
+        Request::Version => {
+            out.extend_from_slice(b"VERSION spotcache-1.0\r\n");
+            OpReport {
+                op: "other",
+                hit: true,
+            }
+        }
+        Request::Stats => {
+            // One sweep over the shard locks for every aggregate field.
+            let snap = store.snapshot();
+            for (k, v) in [
+                ("get_hits", snap.stats.hits),
+                ("get_misses", snap.stats.misses),
+                ("evictions", snap.stats.evictions),
+                ("cmd_set", snap.stats.sets),
+                ("expired_unfetched", snap.stats.expirations),
+                ("curr_items", snap.items as u64),
+                ("bytes", snap.used_bytes as u64),
+            ] {
+                out.extend_from_slice(b"STAT ");
+                out.extend_from_slice(k.as_bytes());
+                out.push(b' ');
+                write_u64(out, v);
+                out.extend_from_slice(b"\r\n");
+            }
+            out.extend_from_slice(b"END\r\n");
+            OpReport {
+                op: "other",
+                hit: true,
+            }
+        }
+    }
+}
+
 /// Executes a command against a store at logical time `now`, returning the
 /// encoded response (empty for `noreply` commands).
 pub fn execute(store: &Store, cmd: &Command, now: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    execute_into(store, cmd, now, &mut out);
+    out
+}
+
+/// [`execute`], appending the response to a caller-owned buffer.
+pub fn execute_into(store: &Store, cmd: &Command, now: u64, out: &mut Vec<u8>) {
     match cmd {
         Command::Get { keys } => {
-            let mut out = Vec::new();
             for key in keys {
                 if let Some(raw) = store.get_at(key, now) {
                     if let Some((flags, data)) = decode_value(&raw) {
-                        out.extend_from_slice(b"VALUE ");
-                        out.extend_from_slice(key);
-                        out.extend_from_slice(format!(" {flags} {}\r\n", data.len()).as_bytes());
-                        out.extend_from_slice(data);
-                        out.extend_from_slice(b"\r\n");
+                        write_value_line(out, key, flags, data);
                     }
                 }
             }
             out.extend_from_slice(b"END\r\n");
-            out
         }
         Command::Store {
             verb,
@@ -274,51 +648,30 @@ pub fn execute(store: &Store, cmd: &Command, now: u64) -> Vec<u8> {
             data,
             noreply,
         } => {
-            let exists = store.contains(key);
-            let store_it = match verb {
-                StoreVerb::Set => true,
-                StoreVerb::Add => !exists,
-                StoreVerb::Replace => exists,
-            };
-            let reply: &[u8] = if store_it {
-                // Memcached exptime semantics: 0 never expires, values up
-                // to 30 days are relative TTLs, larger values are absolute
-                // Unix timestamps (converted here against the logical
-                // clock; an already-past timestamp yields a zero TTL, i.e.
-                // immediately expired).
-                let ttl = match *exptime {
-                    0 => None,
-                    e if e > EXPTIME_ABSOLUTE_CUTOFF => Some(e.saturating_sub(now)),
-                    e => Some(e),
-                };
-                store.set_at(key.clone(), encode_value(*flags, data), now, ttl);
-                // An over-budget item is silently rejected by the store;
-                // surface that as memcached's SERVER_ERROR.
-                if store.contains(key) {
-                    b"STORED\r\n"
-                } else {
-                    b"SERVER_ERROR object too large for cache\r\n"
-                }
-            } else {
-                b"NOT_STORED\r\n"
-            };
-            if *noreply {
-                Vec::new()
-            } else {
-                reply.to_vec()
-            }
+            exec_mutation(
+                store,
+                &Request::Store {
+                    verb: *verb,
+                    key,
+                    flags: *flags,
+                    exptime: *exptime,
+                    data,
+                    noreply: *noreply,
+                },
+                now,
+                out,
+            );
         }
         Command::Delete { key, noreply } => {
-            let reply: &[u8] = if store.delete(key) {
-                b"DELETED\r\n"
-            } else {
-                b"NOT_FOUND\r\n"
-            };
-            if *noreply {
-                Vec::new()
-            } else {
-                reply.to_vec()
-            }
+            exec_mutation(
+                store,
+                &Request::Delete {
+                    key,
+                    noreply: *noreply,
+                },
+                now,
+                out,
+            );
         }
         Command::Arith {
             key,
@@ -326,58 +679,26 @@ pub fn execute(store: &Store, cmd: &Command, now: u64) -> Vec<u8> {
             increment,
             noreply,
         } => {
-            let reply = match store.get_at(key, now) {
-                Some(raw) => match decode_value(&raw)
-                    .and_then(|(f, d)| std::str::from_utf8(d).ok().map(|s| (f, s.to_owned())))
-                    .and_then(|(f, s)| s.trim().parse::<u64>().ok().map(|v| (f, v)))
-                {
-                    Some((flags, value)) => {
-                        let newv = if *increment {
-                            value.wrapping_add(*delta)
-                        } else {
-                            value.saturating_sub(*delta)
-                        };
-                        store.set_at(
-                            key.clone(),
-                            encode_value(flags, newv.to_string().as_bytes()),
-                            now,
-                            None,
-                        );
-                        format!("{newv}\r\n").into_bytes()
-                    }
-                    None => {
-                        b"CLIENT_ERROR cannot increment or decrement non-numeric value\r\n".to_vec()
-                    }
+            exec_mutation(
+                store,
+                &Request::Arith {
+                    key,
+                    delta: *delta,
+                    increment: *increment,
+                    noreply: *noreply,
                 },
-                None => b"NOT_FOUND\r\n".to_vec(),
-            };
-            if *noreply {
-                Vec::new()
-            } else {
-                reply
-            }
+                now,
+                out,
+            );
         }
         Command::FlushAll => {
-            store.clear();
-            b"OK\r\n".to_vec()
+            exec_mutation(store, &Request::FlushAll, now, out);
         }
-        Command::Version => b"VERSION spotcache-1.0\r\n".to_vec(),
+        Command::Version => {
+            exec_mutation(store, &Request::Version, now, out);
+        }
         Command::Stats => {
-            let s = store.stats();
-            let mut out = String::new();
-            for (k, v) in [
-                ("get_hits", s.hits),
-                ("get_misses", s.misses),
-                ("evictions", s.evictions),
-                ("cmd_set", s.sets),
-                ("expired_unfetched", s.expirations),
-                ("curr_items", store.len() as u64),
-                ("bytes", store.used_bytes() as u64),
-            ] {
-                out.push_str(&format!("STAT {k} {v}\r\n"));
-            }
-            out.push_str("END\r\n");
-            out.into_bytes()
+            exec_mutation(store, &Request::Stats, now, out);
         }
     }
 }
@@ -423,26 +744,13 @@ impl ProtocolObs {
         &self.obs
     }
 
-    fn record(&self, cmd: &Command, response: &[u8], now: u64, latency_us: f64) {
-        let (op, counter, hit) = match cmd {
-            Command::Get { keys } => {
-                let values = response
-                    .windows(6)
-                    .filter(|w| w == b"VALUE ")
-                    .count()
-                    .min(keys.len());
-                self.hits.add(values as u64);
-                self.misses.add((keys.len() - values) as u64);
-                ("get", &self.get, values > 0)
-            }
-            Command::Store { .. } => ("store", &self.store, response.starts_with(b"STORED")),
-            Command::Delete { .. } => ("delete", &self.delete, response.starts_with(b"DELETED")),
-            Command::Arith { .. } => (
-                "arith",
-                &self.arith,
-                !response.starts_with(b"NOT_FOUND") && !response.starts_with(b"CLIENT_ERROR"),
-            ),
-            _ => ("other", &self.other, true),
+    fn record(&self, op: &'static str, hit: bool, now: u64, latency_us: f64) {
+        let counter = match op {
+            "get" => &self.get,
+            "store" => &self.store,
+            "delete" => &self.delete,
+            "arith" => &self.arith,
+            _ => &self.other,
         };
         counter.inc();
         self.latency_us.record(latency_us);
@@ -457,10 +765,145 @@ impl ProtocolObs {
     }
 }
 
+/// Reusable per-thread scratch for the pipelined serving loop: pending
+/// `get` key ranges, per-command key counts, and the batched lookup
+/// results. Kept thread-local so steady-state serving allocates nothing.
+#[derive(Default)]
+struct ServeScratch {
+    /// `(offset, len)` of each pending get key, relative to the input.
+    key_ranges: Vec<(usize, usize)>,
+    /// Number of keys per pending `get` command, in order.
+    cmd_keys: Vec<usize>,
+    /// Per-command hit counts of the last flushed batch.
+    cmd_hits: Vec<usize>,
+    /// Batched lookup results (input order).
+    values: Vec<Option<Bytes>>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<ServeScratch> = RefCell::new(ServeScratch::default());
+}
+
+/// Flushes the pending pipelined `get` batch: one [`Store::get_many_into`]
+/// sweep (each shard lock taken once per batch), then responses appended
+/// in command order.
+fn flush_gets(
+    store: &Store,
+    input: &[u8],
+    scratch: &mut ServeScratch,
+    now: u64,
+    obs: Option<&ProtocolObs>,
+    out: &mut Vec<u8>,
+) {
+    if scratch.cmd_keys.is_empty() {
+        return;
+    }
+    let start = obs.map(|_| Instant::now());
+    store.get_many_into(
+        scratch.key_ranges.iter().map(|&(o, l)| &input[o..o + l]),
+        now,
+        &mut scratch.values,
+    );
+    scratch.cmd_hits.clear();
+    let mut vi = 0;
+    for &nk in &scratch.cmd_keys {
+        let mut hits = 0;
+        for _ in 0..nk {
+            if let Some(raw) = &scratch.values[vi] {
+                if let Some((flags, data)) = decode_value(raw) {
+                    let (o, l) = scratch.key_ranges[vi];
+                    write_value_line(out, &input[o..o + l], flags, data);
+                    hits += 1;
+                }
+            }
+            vi += 1;
+        }
+        out.extend_from_slice(b"END\r\n");
+        scratch.cmd_hits.push(hits);
+    }
+    if let (Some(po), Some(start)) = (obs, start) {
+        // The batch is timed as a unit; each command is attributed an
+        // equal share so latency sums stay meaningful.
+        let share = start.elapsed().as_secs_f64() * 1e6 / scratch.cmd_keys.len() as f64;
+        for (i, &nk) in scratch.cmd_keys.iter().enumerate() {
+            let hits = scratch.cmd_hits[i];
+            po.hits.add(hits as u64);
+            po.misses.add((nk - hits) as u64);
+            po.record("get", hits > 0, now, share);
+        }
+    }
+    scratch.key_ranges.clear();
+    scratch.cmd_keys.clear();
+    scratch.values.clear();
+}
+
+fn serve_loop(
+    store: &Store,
+    input: &[u8],
+    now: u64,
+    obs: Option<&ProtocolObs>,
+    out: &mut Vec<u8>,
+    scratch: &mut ServeScratch,
+) -> usize {
+    let mut consumed = 0;
+    while consumed < input.len() {
+        match parse_request(&input[consumed..]) {
+            Ok((Request::Get { keys }, n)) => {
+                // Defer: consecutive gets execute as one store batch.
+                let mut nk = 0;
+                for k in request_keys(keys) {
+                    let off = k.as_ptr() as usize - input.as_ptr() as usize;
+                    scratch.key_ranges.push((off, k.len()));
+                    nk += 1;
+                }
+                scratch.cmd_keys.push(nk);
+                consumed += n;
+            }
+            Ok((req, n)) => {
+                flush_gets(store, input, scratch, now, obs, out);
+                let start = obs.map(|_| Instant::now());
+                let report = exec_mutation(store, &req, now, out);
+                if let (Some(po), Some(start)) = (obs, start) {
+                    po.record(
+                        report.op,
+                        report.hit,
+                        now,
+                        start.elapsed().as_secs_f64() * 1e6,
+                    );
+                }
+                consumed += n;
+            }
+            Err(ParseError::Incomplete) => break,
+            Err(e) => {
+                flush_gets(store, input, scratch, now, obs, out);
+                if let Some(po) = obs {
+                    po.parse_errors.inc();
+                }
+                write_parse_error(out, &e);
+                // Skip the offending line to resynchronize.
+                match find_crlf(&input[consumed..]) {
+                    Some(end) => consumed += end + 2,
+                    None => break,
+                }
+            }
+        }
+    }
+    flush_gets(store, input, scratch, now, obs, out);
+    consumed
+}
+
 /// Parses and executes everything in `input`, returning the concatenated
 /// responses and the bytes consumed — one call of a server's read loop.
 pub fn serve(store: &Store, input: &[u8], now: u64) -> (Vec<u8>, usize) {
-    serve_observed(store, input, now, None)
+    let mut out = Vec::new();
+    let consumed = serve_into(store, input, now, &mut out);
+    (out, consumed)
+}
+
+/// [`serve`], appending responses to a caller-owned buffer (the buffer is
+/// not cleared, so a connection can keep unflushed output in it).
+pub fn serve_into(store: &Store, input: &[u8], now: u64, out: &mut Vec<u8>) -> usize {
+    serve_observed_into(store, input, now, None, out)
 }
 
 /// [`serve`], recording per-op counters, latency, and `CacheOp` journal
@@ -472,34 +915,25 @@ pub fn serve_observed(
     obs: Option<&ProtocolObs>,
 ) -> (Vec<u8>, usize) {
     let mut out = Vec::new();
-    let mut consumed = 0;
-    while consumed < input.len() {
-        match parse(&input[consumed..]) {
-            Ok((cmd, n)) => {
-                let start = obs.map(|_| Instant::now());
-                let response = execute(store, &cmd, now);
-                if let (Some(po), Some(start)) = (obs, start) {
-                    let latency_us = start.elapsed().as_secs_f64() * 1e6;
-                    po.record(&cmd, &response, now, latency_us);
-                }
-                out.extend_from_slice(&response);
-                consumed += n;
-            }
-            Err(ParseError::Incomplete) => break,
-            Err(e) => {
-                if let Some(po) = obs {
-                    po.parse_errors.inc();
-                }
-                out.extend_from_slice(format!("{e}\r\n").as_bytes());
-                // Skip the offending line to resynchronize.
-                match find_crlf(&input[consumed..]) {
-                    Some(end) => consumed += end + 2,
-                    None => break,
-                }
-            }
-        }
-    }
+    let consumed = serve_observed_into(store, input, now, obs, &mut out);
     (out, consumed)
+}
+
+/// The full serving entry point: pipelined batch execution into a
+/// caller-owned output buffer, with optional observability. Returns the
+/// bytes consumed; everything after that is an incomplete trailing
+/// command the caller should retain and retry with more input.
+pub fn serve_observed_into(
+    store: &Store,
+    input: &[u8],
+    now: u64,
+    obs: Option<&ProtocolObs>,
+    out: &mut Vec<u8>,
+) -> usize {
+    let mut scratch = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    let consumed = serve_loop(store, input, now, obs, out, &mut scratch);
+    SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    consumed
 }
 
 #[cfg(test)]
@@ -666,6 +1100,33 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_get_batch_preserves_command_order() {
+        // A run of consecutive gets executes as one store batch but the
+        // responses come back in command order, byte-identical to
+        // sequential execution.
+        let s = store();
+        run(&s, "set a 1 0 1\r\nx\r\nset b 2 0 2\r\nyy\r\n");
+        let out = run(&s, "get a\r\nget missing\r\nget b a\r\nget b\r\n");
+        assert_eq!(
+            out,
+            "VALUE a 1 1\r\nx\r\nEND\r\nEND\r\nVALUE b 2 2\r\nyy\r\nVALUE a 1 1\r\nx\r\nEND\r\nVALUE b 2 2\r\nyy\r\nEND\r\n"
+        );
+        // A mutation between gets splits the batch at the right point.
+        let out = run(&s, "get a\r\ndelete a\r\nget a\r\n");
+        assert_eq!(out, "VALUE a 1 1\r\nx\r\nEND\r\nDELETED\r\nEND\r\n");
+    }
+
+    #[test]
+    fn serve_into_appends_to_existing_buffer() {
+        let s = store();
+        run(&s, "set k 0 0 1\r\nv\r\n");
+        let mut out = b"unflushed:".to_vec();
+        let consumed = serve_into(&s, b"get k\r\n", 0, &mut out);
+        assert_eq!(consumed, 7);
+        assert_eq!(out, b"unflushed:VALUE k 0 1\r\nv\r\nEND\r\n");
+    }
+
+    #[test]
     fn incomplete_input_waits_for_more() {
         let s = store();
         let (out, consumed) = serve(&s, b"set k 0 0 10\r\npart", 0);
@@ -709,5 +1170,36 @@ mod tests {
         let big = "v".repeat(500);
         let out = run(&s, &format!("set k 0 0 500\r\n{big}\r\n"));
         assert!(out.starts_with("SERVER_ERROR"), "{out}");
+    }
+
+    #[test]
+    fn borrowed_parse_matches_owned_parse() {
+        for req in [
+            "get a bb ccc\r\n".to_string(),
+            "gets one\r\n".to_string(),
+            "set k 42 99 3\r\nxyz\r\n".to_string(),
+            "add k 0 0 0 noreply\r\n\r\n".to_string(),
+            "replace k 1 2 1\r\nz\r\n".to_string(),
+            "delete k noreply\r\n".to_string(),
+            "incr k 10\r\n".to_string(),
+            "decr k 3 noreply\r\n".to_string(),
+            "flush_all\r\n".to_string(),
+            "version\r\n".to_string(),
+            "stats\r\n".to_string(),
+        ] {
+            let (borrowed, n1) = parse_request(req.as_bytes()).unwrap();
+            let (owned, n2) = parse(req.as_bytes()).unwrap();
+            assert_eq!(n1, n2, "{req:?}");
+            assert_eq!(borrowed.to_command(), owned, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn write_u64_matches_display() {
+        for v in [0u64, 1, 9, 10, 99, 12345, u64::MAX] {
+            let mut out = Vec::new();
+            write_u64(&mut out, v);
+            assert_eq!(String::from_utf8(out).unwrap(), v.to_string());
+        }
     }
 }

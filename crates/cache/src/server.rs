@@ -1,9 +1,18 @@
 //! A TCP memcached server over the text-protocol codec.
 //!
-//! One thread per connection (memcached itself uses a small thread pool;
-//! for a cache node serving a simulator or tests, per-connection threads
-//! are simpler and plenty). The server shares a [`Store`] — the same store
-//! a [`crate::node::CacheNode`] wraps — so a node can be driven over real
+//! Connections are multiplexed across a **fixed-size worker pool** over
+//! nonblocking sockets (memcached's own model): the accept thread hands
+//! each connection to a worker round-robin, and every worker owns its
+//! connections outright — no locks on the serving path, no per-connection
+//! threads to leak under a connection flood. Each connection keeps one
+//! input buffer and one output buffer for its whole lifetime; responses
+//! are appended by [`crate::protocol::serve_observed_into`] so pipelined
+//! batches execute as a unit. Both buffers are bounded: a reader that
+//! stops draining its responses stops being read from (backpressure), and
+//! a writer that streams an endless unparseable "command" is disconnected.
+//!
+//! The server shares a [`Store`] — the same store a
+//! [`crate::node::CacheNode`] wraps — so a node can be driven over real
 //! sockets by any memcached client speaking the text protocol.
 //!
 //! Time for TTLs comes from a [`Clock`] so tests (and simulations) can use
@@ -11,14 +20,13 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use parking_lot::Mutex;
 use spotcache_obs::Obs;
 
-use crate::protocol::{serve_observed, ProtocolObs};
+use crate::protocol::{serve_observed_into, ProtocolObs};
 use crate::store::Store;
 
 /// A source of seconds for TTL handling.
@@ -65,6 +73,61 @@ impl Clock for Arc<LogicalClock> {
 /// How long the accept loop sleeps between polls of a quiet listener.
 const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(2);
 
+/// Consecutive idle passes a worker spin-yields before it starts
+/// sleeping. Under load the worker never leaves spin mode, so active
+/// connections see microsecond-scale polling latency.
+const IDLE_SPINS: u32 = 64;
+
+/// How long an idle worker sleeps between polls once past [`IDLE_SPINS`].
+const IDLE_SLEEP: std::time::Duration = std::time::Duration::from_micros(500);
+
+/// Once this many flushed bytes accumulate at the front of a connection's
+/// output buffer, compact it (amortizes the memmove over large writes).
+const OUT_COMPACT_THRESHOLD: usize = 64 * 1024;
+
+/// Tuning knobs for the worker-pool server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads. `0` (the default) sizes the pool to the machine:
+    /// `available_parallelism` clamped to `1..=4`.
+    pub workers: usize,
+    /// Bytes read from a socket per `read` call.
+    pub read_chunk: usize,
+    /// Cap on buffered unparsed input per connection; a connection that
+    /// exceeds it without ever completing a command is disconnected
+    /// (protocol abuse guard).
+    pub max_pending_in: usize,
+    /// Cap on unflushed response bytes per connection; past it the
+    /// connection is not read from until the peer drains its responses
+    /// (backpressure on slow readers).
+    pub max_pending_out: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            read_chunk: 16 * 1024,
+            max_pending_in: 8 * 1024 * 1024,
+            max_pending_out: 4 * 1024 * 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The worker count after resolving `workers == 0` to the machine
+    /// size.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 4)
+    }
+}
+
 /// Whether an accept error is transient (retry) rather than fatal.
 ///
 /// `ECONNABORTED`/reset: the client vanished between SYN and accept.
@@ -80,19 +143,203 @@ fn transient_accept_error(e: &std::io::Error) -> bool {
     ) || matches!(e.raw_os_error(), Some(23) | Some(24))
 }
 
+fn retriable_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// One connection owned by a worker: the socket plus its two reusable
+/// buffers. `pending_out[out_cursor..]` is response bytes not yet
+/// accepted by the kernel.
+struct Conn {
+    stream: TcpStream,
+    pending_in: Vec<u8>,
+    pending_out: Vec<u8>,
+    out_cursor: usize,
+    eof: bool,
+}
+
+enum ConnState {
+    /// Still open; `moved` reports whether any bytes were transferred
+    /// this pass (the worker's idle detector).
+    Open { moved: bool },
+    /// Finished or failed; the worker drops it.
+    Closed,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            pending_in: Vec::new(),
+            pending_out: Vec::new(),
+            out_cursor: 0,
+            eof: false,
+        }
+    }
+
+    /// Writes as much buffered output as the kernel will take.
+    /// Returns `false` when the connection is dead.
+    fn flush_out(&mut self, moved: &mut bool) -> bool {
+        while self.out_cursor < self.pending_out.len() {
+            match self.stream.write(&self.pending_out[self.out_cursor..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.out_cursor += n;
+                    *moved = true;
+                }
+                Err(e) if retriable_io(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.out_cursor == self.pending_out.len() {
+            self.pending_out.clear();
+            self.out_cursor = 0;
+        } else if self.out_cursor > OUT_COMPACT_THRESHOLD {
+            self.pending_out.drain(..self.out_cursor);
+            self.out_cursor = 0;
+        }
+        true
+    }
+
+    fn backpressured(&self, cfg: &ServerConfig) -> bool {
+        self.pending_out.len() - self.out_cursor >= cfg.max_pending_out
+    }
+
+    /// One readiness pass: flush, read-and-serve, flush.
+    fn tick(
+        &mut self,
+        store: &Store,
+        now: u64,
+        obs: Option<&ProtocolObs>,
+        cfg: &ServerConfig,
+        buf: &mut [u8],
+    ) -> ConnState {
+        let mut moved = false;
+        if !self.flush_out(&mut moved) {
+            return ConnState::Closed;
+        }
+        while !self.eof && !self.backpressured(cfg) {
+            match self.stream.read(buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => {
+                    moved = true;
+                    self.pending_in.extend_from_slice(&buf[..n]);
+                    let consumed = serve_observed_into(
+                        store,
+                        &self.pending_in,
+                        now,
+                        obs,
+                        &mut self.pending_out,
+                    );
+                    self.pending_in.drain(..consumed);
+                    if consumed == 0 && self.pending_in.len() > cfg.max_pending_in {
+                        // An endless incomplete "command": cut it off.
+                        return ConnState::Closed;
+                    }
+                    if n < buf.len() {
+                        // Short read: the socket is drained for now.
+                        break;
+                    }
+                }
+                Err(e) if retriable_io(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return ConnState::Closed,
+            }
+        }
+        if !self.flush_out(&mut moved) {
+            return ConnState::Closed;
+        }
+        if self.eof && self.out_cursor == self.pending_out.len() {
+            ConnState::Closed
+        } else {
+            ConnState::Open { moved }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    rx: mpsc::Receiver<TcpStream>,
+    store: Arc<Store>,
+    clock: Arc<dyn Clock>,
+    shutdown: Arc<AtomicBool>,
+    obs: Option<Arc<ProtocolObs>>,
+    cfg: ServerConfig,
+    active: Arc<AtomicUsize>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = vec![0u8; cfg.read_chunk.max(1)];
+    let mut idle: u32 = 0;
+    'run: while !shutdown.load(Ordering::SeqCst) {
+        let mut moved = false;
+        // Adopt newly accepted connections.
+        loop {
+            match rx.try_recv() {
+                Ok(s) => {
+                    active.fetch_add(1, Ordering::SeqCst);
+                    conns.push(Conn::new(s));
+                    moved = true;
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    if conns.is_empty() {
+                        break 'run;
+                    }
+                    break;
+                }
+            }
+        }
+        let now = clock.now();
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].tick(&store, now, obs.as_deref(), &cfg, &mut buf) {
+                ConnState::Closed => {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    conns.swap_remove(i);
+                    moved = true;
+                }
+                ConnState::Open { moved: m } => {
+                    moved |= m;
+                    i += 1;
+                }
+            }
+        }
+        if moved {
+            idle = 0;
+        } else {
+            idle = idle.saturating_add(1);
+            if idle < IDLE_SPINS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+    // Shutdown (or orphaned): drop everything we own, keeping the gauge
+    // honest. Queued-but-never-adopted connections were never counted.
+    active.fetch_sub(conns.len(), Ordering::SeqCst);
+    drop(conns);
+    while rx.try_recv().is_ok() {}
+}
+
 /// A running cache server.
 pub struct CacheServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    active: Arc<AtomicUsize>,
 }
 
 impl CacheServer {
     /// Starts a server for `store` on `addr` (use port 0 for an ephemeral
     /// port; the bound address is available via [`Self::addr`]).
     pub fn start(store: Arc<Store>, clock: impl Clock, addr: &str) -> std::io::Result<CacheServer> {
-        Self::start_observed(store, clock, addr, None)
+        Self::start_with(store, clock, addr, ServerConfig::default(), None)
     }
 
     /// [`start`](Self::start), recording per-op protocol metrics, accept
@@ -103,14 +350,26 @@ impl CacheServer {
         addr: &str,
         obs: Option<Arc<Obs>>,
     ) -> std::io::Result<CacheServer> {
+        Self::start_with(store, clock, addr, ServerConfig::default(), obs)
+    }
+
+    /// The fully configurable entry point: worker-pool size and buffer
+    /// bounds come from `config`.
+    pub fn start_with(
+        store: Arc<Store>,
+        clock: impl Clock,
+        addr: &str,
+        config: ServerConfig,
+        obs: Option<Arc<Obs>>,
+    ) -> std::io::Result<CacheServer> {
         let listener = TcpListener::bind(addr)?;
         // Non-blocking accept: the loop can observe shutdown without
         // depending on a wake-up connection, so `stop()` cannot hang.
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let clock = Arc::new(clock);
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+        let clock: Arc<dyn Clock> = Arc::new(clock);
         let proto_obs = obs
             .as_ref()
             .map(|o| Arc::new(ProtocolObs::new(Arc::clone(o))));
@@ -119,47 +378,65 @@ impl CacheServer {
             .as_ref()
             .map(|o| o.counter("server_accept_transient_errors_total"));
 
+        let n_workers = config.effective_workers();
+        let mut senders = Vec::with_capacity(n_workers);
+        let mut worker_handles = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let store = Arc::clone(&store);
+            let clock = Arc::clone(&clock);
+            let shutdown = Arc::clone(&shutdown);
+            let obs = proto_obs.clone();
+            let cfg = config.clone();
+            let active = Arc::clone(&active);
+            let handle = std::thread::Builder::new()
+                .name(format!("cache-worker-{w}"))
+                .spawn(move || worker_loop(rx, store, clock, shutdown, obs, cfg, active))?;
+            worker_handles.push(handle);
+        }
+
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_conns = Arc::clone(&connections);
-        let handle = std::thread::spawn(move || {
-            while !accept_shutdown.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((s, _)) => {
-                        if let Some(c) = &conn_counter {
-                            c.inc();
+        let accept_handle = std::thread::Builder::new()
+            .name("cache-accept".to_string())
+            .spawn(move || {
+                let mut next = 0usize;
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((s, _)) => {
+                            if let Some(c) = &conn_counter {
+                                c.inc();
+                            }
+                            if s.set_nonblocking(true).is_err() {
+                                continue; // dead on arrival
+                            }
+                            let _ = s.set_nodelay(true);
+                            // Round-robin shard the connection onto a
+                            // worker; a send error means that worker is
+                            // gone (shutdown race) and dropping the
+                            // stream closes the connection.
+                            let _ = senders[next % senders.len()].send(s);
+                            next = next.wrapping_add(1);
                         }
-                        let store = Arc::clone(&store);
-                        let clock = Arc::clone(&clock);
-                        let conn_shutdown = Arc::clone(&accept_shutdown);
-                        let proto_obs = proto_obs.clone();
-                        let conn = std::thread::spawn(move || {
-                            let _ =
-                                handle_connection(s, &store, &*clock, &conn_shutdown, proto_obs);
-                        });
-                        // Track the handle so stop() can join it; reap
-                        // finished ones so the vector stays bounded.
-                        let mut conns = accept_conns.lock();
-                        conns.retain(|h| !h.is_finished());
-                        conns.push(conn);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                    }
-                    Err(e) if transient_accept_error(&e) => {
-                        if let Some(c) = &retry_counter {
-                            c.inc();
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
                         }
-                        std::thread::sleep(ACCEPT_POLL);
+                        Err(e) if transient_accept_error(&e) => {
+                            if let Some(c) = &retry_counter {
+                                c.inc();
+                            }
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => break,
                     }
-                    Err(_) => break,
                 }
-            }
-        });
+            })?;
         Ok(CacheServer {
             addr: local,
             shutdown,
-            accept_handle: Some(handle),
-            connections,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            active,
         })
     }
 
@@ -168,21 +445,22 @@ impl CacheServer {
         self.addr
     }
 
+    /// Connections currently owned by workers (monitoring/test hook).
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
     /// Signals shutdown and quiesces: joins the accept loop and every
-    /// in-flight connection thread, so no server thread outlives this
-    /// call.
+    /// worker, so no server thread outlives this call.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Best-effort nudge so a poll-sleeping accept loop and blocked
-        // readers notice promptly; failure is fine (the loop polls).
+        // Best-effort nudge so a poll-sleeping accept loop notices
+        // promptly; failure is fine (the loop polls).
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        // After the accept loop exits no new connections appear; drain
-        // and join everything it spawned.
-        let conns = std::mem::take(&mut *self.connections.lock());
-        for h in conns {
+        for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -191,42 +469,6 @@ impl CacheServer {
 impl Drop for CacheServer {
     fn drop(&mut self) {
         self.stop();
-    }
-}
-
-fn handle_connection(
-    mut stream: TcpStream,
-    store: &Store,
-    clock: &dyn Clock,
-    shutdown: &AtomicBool,
-    obs: Option<Arc<ProtocolObs>>,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
-    let mut pending: Vec<u8> = Vec::new();
-    let mut buf = [0u8; 16 * 1024];
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(n) => {
-                pending.extend_from_slice(&buf[..n]);
-                let (response, consumed) =
-                    serve_observed(store, &pending, clock.now(), obs.as_deref());
-                pending.drain(..consumed);
-                if !response.is_empty() {
-                    stream.write_all(&response)?;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
-            Err(e) => return Err(e),
-        }
     }
 }
 
@@ -360,6 +602,26 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_batch_through_worker_pool() {
+        // One write carrying many commands; the responses must come back
+        // complete, in order, with nothing lost or duplicated.
+        let (server, _store, _clock) = start_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_nodelay(true).unwrap();
+        let mut req = Vec::new();
+        let mut expect = Vec::new();
+        for i in 0..200 {
+            req.extend_from_slice(format!("set k{i} 0 0 2\r\nxy\r\nget k{i}\r\n").as_bytes());
+            expect
+                .extend_from_slice(format!("STORED\r\nVALUE k{i} 0 2\r\nxy\r\nEND\r\n").as_bytes());
+        }
+        s.write_all(&req).unwrap();
+        let mut got = vec![0u8; expect.len()];
+        s.read_exact(&mut got).unwrap();
+        assert!(got == expect, "pipelined responses diverged");
+    }
+
+    #[test]
     fn server_store_is_shared_with_direct_access() {
         // A CacheNode-style owner can read what clients wrote and vice
         // versa (the warm-up pump uses exactly this path).
@@ -385,40 +647,38 @@ mod tests {
     }
 
     #[test]
-    fn stop_joins_in_flight_connection_threads() {
+    fn stop_drains_in_flight_connections() {
         let (mut server, _store, _clock) = start_server();
-        // Open several connections and leave them idle (their threads sit
-        // in the read-timeout loop).
+        // Open several connections and leave them idle (their sockets sit
+        // in a worker's poll set).
         let clients: Vec<_> = (0..3)
             .map(|_| CacheClient::connect(server.addr()).unwrap())
             .collect();
-        // Give the accept loop a moment to register them all.
+        // Give the pool a moment to adopt them all.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while server.connections.lock().len() < 3 && std::time::Instant::now() < deadline {
+        while server.active_connections() < 3 && std::time::Instant::now() < deadline {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
-        assert_eq!(server.connections.lock().len(), 3);
+        assert_eq!(server.active_connections(), 3);
         server.stop();
-        // Quiesced: every tracked connection thread has been joined.
-        assert!(server.connections.lock().is_empty());
+        // Quiesced: the workers dropped everything they owned.
+        assert_eq!(server.active_connections(), 0);
         drop(clients);
     }
 
     #[test]
-    fn finished_connections_are_reaped_while_running() {
+    fn closed_connections_are_reaped_while_running() {
         let (mut server, _store, _clock) = start_server();
         for _ in 0..5 {
-            // Connect and immediately disconnect; the handler exits.
+            // Connect and immediately disconnect; the worker notices EOF.
             drop(CacheClient::connect(server.addr()).unwrap());
         }
-        std::thread::sleep(std::time::Duration::from_millis(100));
-        // One more connection triggers a reap pass in the accept loop.
         let _keep = CacheClient::connect(server.addr()).unwrap();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         loop {
-            let n = server.connections.lock().len();
-            if n <= 2 || std::time::Instant::now() > deadline {
-                assert!(n <= 2, "finished handles not reaped: {n} tracked");
+            let n = server.active_connections();
+            if n <= 1 || std::time::Instant::now() > deadline {
+                assert!(n <= 1, "closed connections not reaped: {n} tracked");
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(10));
@@ -431,6 +691,31 @@ mod tests {
         let (mut server, _store, _clock) = start_server();
         server.stop();
         server.stop(); // second stop must not hang or panic
+    }
+
+    #[test]
+    fn explicit_worker_count_is_honoured() {
+        let store = Arc::new(Store::with_capacity(1 << 20));
+        let clock = LogicalClock::new();
+        let mut server = CacheServer::start_with(
+            Arc::clone(&store),
+            clock,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(server.worker_handles.len(), 2);
+        // Both workers serve traffic (round-robin hands them alternate
+        // connections).
+        for _ in 0..2 {
+            let mut c = CacheClient::connect(server.addr()).unwrap();
+            assert_eq!(c.set("k", b"v", 0).unwrap(), "STORED");
+        }
+        server.stop();
     }
 
     #[test]

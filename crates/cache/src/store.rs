@@ -5,6 +5,7 @@
 //! optional TTLs (against a caller-supplied logical clock so simulations
 //! stay deterministic), and hit/miss/eviction counters.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use bytes::Bytes;
@@ -72,6 +73,50 @@ impl CacheStats {
     }
 }
 
+/// Conditional-store semantics for [`Store::set_policy_at`] (the store-side
+/// counterpart of the protocol's `set`/`add`/`replace` verbs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetPolicy {
+    /// Store unconditionally (`set`).
+    Always,
+    /// Store only when the key is absent (`add`).
+    IfAbsent,
+    /// Store only when the key is present (`replace`).
+    IfPresent,
+}
+
+/// Outcome of a policy-checked store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOutcome {
+    /// The item was stored.
+    Stored,
+    /// The policy rejected the store (key presence didn't match).
+    NotStored,
+    /// The item exceeds the shard budget and was rejected (any previous
+    /// value under the key is gone, mirroring memcached's oversized-item
+    /// behaviour).
+    TooLarge,
+}
+
+/// One-sweep aggregate view of the store: statistics, occupancy, and
+/// capacity gathered with a single pass over the shard locks.
+///
+/// Observability samplers should prefer one [`Store::snapshot`] call over
+/// separate `stats()` / `used_bytes()` / `len()` calls — each of those is
+/// itself a full sweep, so naive per-field sampling quadruples lock
+/// traffic on the hot shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Cumulative operation statistics.
+    pub stats: CacheStats,
+    /// Bytes accounted to live items (keys + values + overhead).
+    pub used_bytes: usize,
+    /// Total capacity across shards.
+    pub capacity_bytes: usize,
+    /// Number of live items.
+    pub items: usize,
+}
+
 struct Entry {
     value: Bytes,
     lru_idx: usize,
@@ -120,7 +165,35 @@ impl Shard {
         Some(value)
     }
 
-    fn set(&mut self, key: Bytes, value: Bytes, now: u64, ttl: Option<u64>) {
+    /// Applies a policy-checked store under the one lock the caller holds:
+    /// presence check and insertion are a single critical section.
+    fn apply(
+        &mut self,
+        policy: SetPolicy,
+        key: Bytes,
+        value: Bytes,
+        now: u64,
+        ttl: Option<u64>,
+    ) -> SetOutcome {
+        let exists = self.map.contains_key(&key);
+        let store_it = match policy {
+            SetPolicy::Always => true,
+            SetPolicy::IfAbsent => !exists,
+            SetPolicy::IfPresent => exists,
+        };
+        if !store_it {
+            return SetOutcome::NotStored;
+        }
+        if self.set(key, value, now, ttl) {
+            SetOutcome::Stored
+        } else {
+            SetOutcome::TooLarge
+        }
+    }
+
+    /// Inserts an item; returns `false` when it exceeds the shard budget
+    /// (the item is rejected and any previous value is removed).
+    fn set(&mut self, key: Bytes, value: Bytes, now: u64, ttl: Option<u64>) -> bool {
         self.stats.sets += 1;
         let bytes = key.len() + value.len() + ITEM_OVERHEAD;
         if let Some(old) = self.map.remove(&key) {
@@ -131,7 +204,7 @@ impl Shard {
         // items larger than the whole shard the same way (silently dropping
         // would corrupt accounting; callers can check `contains`).
         if bytes > self.capacity_bytes {
-            return;
+            return false;
         }
         while self.used_bytes + bytes > self.capacity_bytes {
             let victim = self.lru.pop_back().expect("used > 0 implies non-empty LRU");
@@ -151,6 +224,7 @@ impl Shard {
             },
         );
         self.used_bytes += bytes;
+        true
     }
 
     fn remove(&mut self, key: &[u8]) -> bool {
@@ -189,6 +263,12 @@ pub struct Store {
     shards: Vec<Mutex<Shard>>,
 }
 
+thread_local! {
+    /// Reusable per-key shard-index scratch for the batched operations, so
+    /// steady-state batches allocate nothing.
+    static SHARD_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
 impl Store {
     /// Creates a store from a configuration.
     pub fn new(config: StoreConfig) -> Self {
@@ -207,14 +287,18 @@ impl Store {
         })
     }
 
-    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+    fn shard_idx(&self, key: &[u8]) -> usize {
         // FNV-1a; cheap and adequate for shard selection.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &b in key {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+        &self.shards[self.shard_idx(key)]
     }
 
     /// Fetches a key at logical time `now` (TTL-aware).
@@ -225,6 +309,91 @@ impl Store {
     /// Fetches a key, ignoring TTLs (logical time 0).
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
         self.get_at(key, 0)
+    }
+
+    /// Batched fetch: looks up every key of a pipelined batch, grouping
+    /// keys by shard so each shard lock is taken **once per batch** rather
+    /// than once per key. Results land in `out` (cleared first) in input
+    /// order; values are refcounted [`Bytes`] clones, so the bytes stay
+    /// zero-copy until a response writer serializes them.
+    ///
+    /// Within a shard, keys are processed in input order, so hit/miss
+    /// accounting, TTL expirations, and LRU touch order are identical to
+    /// issuing the gets one at a time.
+    pub fn get_many_into<'k, K>(&self, keys: K, now: u64, out: &mut Vec<Option<Bytes>>)
+    where
+        K: Iterator<Item = &'k [u8]> + Clone,
+    {
+        out.clear();
+        if self.shards.len() == 1 {
+            let mut sh = self.shards[0].lock();
+            for k in keys {
+                out.push(sh.get(k, now));
+            }
+            return;
+        }
+        let mut ids = SHARD_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        ids.clear();
+        let mut n = 0usize;
+        for k in keys.clone() {
+            ids.push(self.shard_idx(k) as u32);
+            n += 1;
+        }
+        out.resize_with(n, || None);
+        for s in 0..self.shards.len() as u32 {
+            if !ids.contains(&s) {
+                continue;
+            }
+            let mut sh = self.shards[s as usize].lock();
+            for ((i, k), &id) in keys.clone().enumerate().zip(ids.iter()) {
+                if id == s {
+                    out[i] = sh.get(k, now);
+                }
+            }
+        }
+        SHARD_SCRATCH.with(|s| *s.borrow_mut() = ids);
+    }
+
+    /// [`get_many_into`](Self::get_many_into) into a fresh vector.
+    pub fn get_many(&self, keys: &[&[u8]], now: u64) -> Vec<Option<Bytes>> {
+        let mut out = Vec::with_capacity(keys.len());
+        self.get_many_into(keys.iter().copied(), now, &mut out);
+        out
+    }
+
+    /// Batched insert: stores every `(key, value, ttl)` item, grouping by
+    /// shard and taking each shard lock once per batch. Items mapping to
+    /// the same shard are applied in input order, so the final state
+    /// matches sequential `set_at` calls. Returns how many items were
+    /// stored (an item is rejected only when it exceeds its shard budget).
+    pub fn set_many_at(&self, items: Vec<(Bytes, Bytes, Option<u64>)>, now: u64) -> usize {
+        let mut stored = 0usize;
+        if self.shards.len() == 1 {
+            let mut sh = self.shards[0].lock();
+            for (k, v, ttl) in items {
+                stored += sh.set(k, v, now, ttl) as usize;
+            }
+            return stored;
+        }
+        let ids: Vec<u32> = items
+            .iter()
+            .map(|(k, _, _)| self.shard_idx(k) as u32)
+            .collect();
+        let mut slots: Vec<Option<(Bytes, Bytes, Option<u64>)>> =
+            items.into_iter().map(Some).collect();
+        for s in 0..self.shards.len() as u32 {
+            if !ids.contains(&s) {
+                continue;
+            }
+            let mut sh = self.shards[s as usize].lock();
+            for (slot, &id) in slots.iter_mut().zip(ids.iter()) {
+                if id == s {
+                    let (k, v, ttl) = slot.take().expect("each slot is taken exactly once");
+                    stored += sh.set(k, v, now, ttl) as usize;
+                }
+            }
+        }
+        stored
     }
 
     /// Inserts a key with an optional TTL at logical time `now`.
@@ -247,11 +416,35 @@ impl Store {
         self.set_at(key, value, 0, None);
     }
 
-    /// Deletes a key; returns whether it existed.
+    /// Policy-checked insert (`set`/`add`/`replace` semantics): the
+    /// presence check and the insertion happen under a single shard lock
+    /// acquisition, unlike a `contains` + `set_at` + `contains` sequence
+    /// which takes the lock three times per command.
+    ///
+    /// Presence ignores TTLs, matching the protocol layer's historical
+    /// `contains`-based semantics (an expired-but-unreaped item still
+    /// blocks `add` and satisfies `replace`).
+    pub fn set_policy_at(
+        &self,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+        now: u64,
+        ttl: Option<u64>,
+        policy: SetPolicy,
+    ) -> SetOutcome {
+        let key = key.into();
+        self.shard_for(&key)
+            .lock()
+            .apply(policy, key, value.into(), now, ttl)
+    }
+
+    /// Deletes a key; returns whether it existed. Removal and the
+    /// `deletes` statistic are updated under one lock acquisition.
     pub fn delete(&self, key: &[u8]) -> bool {
-        let removed = self.shard_for(key).lock().remove(key);
+        let mut sh = self.shard_for(key).lock();
+        let removed = sh.remove(key);
         if removed {
-            self.shard_for(key).lock().stats.deletes += 1;
+            sh.stats.deletes += 1;
         }
         removed
     }
@@ -261,19 +454,36 @@ impl Store {
         self.shard_for(key).lock().map.contains_key(key)
     }
 
+    /// Gathers statistics, occupancy, and capacity in **one** sweep over
+    /// the shard locks. Prefer this over separate [`stats`](Self::stats) /
+    /// [`used_bytes`](Self::used_bytes) / [`len`](Self::len) calls when
+    /// more than one field is needed (e.g. obs sampling, the protocol's
+    /// `stats` command).
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let mut snap = StoreSnapshot::default();
+        for s in &self.shards {
+            let sh = s.lock();
+            snap.stats.add(&sh.stats);
+            snap.used_bytes += sh.used_bytes;
+            snap.capacity_bytes += sh.capacity_bytes;
+            snap.items += sh.map.len();
+        }
+        snap
+    }
+
     /// Total bytes accounted (keys + values + per-item overhead).
     pub fn used_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().used_bytes).sum()
+        self.snapshot().used_bytes
     }
 
     /// Total capacity across shards.
     pub fn capacity_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().capacity_bytes).sum()
+        self.snapshot().capacity_bytes
     }
 
     /// Number of live items.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum()
+        self.snapshot().items
     }
 
     /// Whether the store holds no items.
@@ -283,11 +493,7 @@ impl Store {
 
     /// Aggregated statistics across shards.
     pub fn stats(&self) -> CacheStats {
-        let mut total = CacheStats::default();
-        for s in &self.shards {
-            total.add(&s.lock().stats);
-        }
-        total
+        self.snapshot().stats
     }
 
     /// Drops every item (a revoked node's RAM vanishing).
@@ -436,6 +642,124 @@ mod tests {
         s.get(b"nope");
         assert!((s.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn get_many_matches_sequential_gets() {
+        let s = Store::new(StoreConfig {
+            capacity_bytes: 1 << 20,
+            shards: 4,
+        });
+        let t = Store::new(StoreConfig {
+            capacity_bytes: 1 << 20,
+            shards: 4,
+        });
+        for i in 0..64u32 {
+            if i % 3 != 0 {
+                s.set_at(i.to_be_bytes().to_vec(), "v", 0, Some(100));
+                t.set_at(i.to_be_bytes().to_vec(), "v", 0, Some(100));
+            }
+        }
+        let keys: Vec<Vec<u8>> = (0..64u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let batched = s.get_many(&refs, 50);
+        let sequential: Vec<Option<Bytes>> = refs.iter().map(|k| t.get_at(k, 50)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(s.stats(), t.stats(), "batched stats must match sequential");
+        // Expired items behave identically too (TTL 100 at t=200).
+        let batched = s.get_many(&refs, 200);
+        assert!(batched.iter().all(|v| v.is_none()));
+        assert_eq!(s.stats(), {
+            refs.iter().for_each(|k| {
+                t.get_at(k, 200);
+            });
+            t.stats()
+        });
+    }
+
+    #[test]
+    fn set_many_groups_by_shard_and_preserves_order() {
+        let s = Store::new(StoreConfig {
+            capacity_bytes: 1 << 20,
+            shards: 4,
+        });
+        // Two writes to the same key in one batch: last one wins, exactly
+        // as with sequential sets.
+        let items = vec![
+            (
+                Bytes::copy_from_slice(b"dup"),
+                Bytes::copy_from_slice(b"first"),
+                None,
+            ),
+            (
+                Bytes::copy_from_slice(b"a"),
+                Bytes::copy_from_slice(b"1"),
+                None,
+            ),
+            (
+                Bytes::copy_from_slice(b"b"),
+                Bytes::copy_from_slice(b"2"),
+                Some(10),
+            ),
+            (
+                Bytes::copy_from_slice(b"dup"),
+                Bytes::copy_from_slice(b"last"),
+                None,
+            ),
+        ];
+        let stored = s.set_many_at(items, 0);
+        assert_eq!(stored, 4);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(b"dup").as_deref(), Some(b"last".as_ref()));
+        assert!(
+            s.get_at(b"b", 11).is_none(),
+            "TTL applies through the batch"
+        );
+        assert_eq!(s.stats().sets, 4);
+    }
+
+    #[test]
+    fn set_policy_single_lock_semantics() {
+        let s = small();
+        assert_eq!(
+            s.set_policy_at("k", "a", 0, None, SetPolicy::IfPresent),
+            SetOutcome::NotStored
+        );
+        assert_eq!(
+            s.set_policy_at("k", "a", 0, None, SetPolicy::IfAbsent),
+            SetOutcome::Stored
+        );
+        assert_eq!(
+            s.set_policy_at("k", "b", 0, None, SetPolicy::IfAbsent),
+            SetOutcome::NotStored
+        );
+        assert_eq!(
+            s.set_policy_at("k", "c", 0, None, SetPolicy::IfPresent),
+            SetOutcome::Stored
+        );
+        assert_eq!(s.get(b"k").as_deref(), Some(b"c".as_ref()));
+        let tiny = Store::with_capacity(128);
+        assert_eq!(
+            tiny.set_policy_at("big", vec![0u8; 500], 0, None, SetPolicy::Always),
+            SetOutcome::TooLarge
+        );
+        assert!(!tiny.contains(b"big"));
+    }
+
+    #[test]
+    fn snapshot_is_one_sweep_view() {
+        let s = small();
+        s.set("a", "1");
+        s.set("b", "22");
+        s.get(b"a");
+        s.get(b"missing");
+        s.delete(b"b");
+        let snap = s.snapshot();
+        assert_eq!(snap.stats, s.stats());
+        assert_eq!(snap.used_bytes, s.used_bytes());
+        assert_eq!(snap.capacity_bytes, s.capacity_bytes());
+        assert_eq!(snap.items, s.len());
+        assert_eq!(snap.stats.deletes, 1);
     }
 
     proptest! {

@@ -1,0 +1,147 @@
+//! Data-plane integration tests: the pipelined serving path must be
+//! invisible to clients. Splitting a command stream at arbitrary byte
+//! boundaries, batching runs of `get`s, and multiplexing connections
+//! across the worker pool may change *how* commands execute, but never
+//! the bytes that come back or the store state left behind.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use spotcache_cache::protocol::{serve, serve_into};
+use spotcache_cache::server::{CacheServer, LogicalClock, ServerConfig};
+use spotcache_cache::store::{Store, StoreConfig};
+
+fn fresh_store() -> Store {
+    Store::new(StoreConfig {
+        capacity_bytes: 4 << 20,
+        shards: 4,
+    })
+}
+
+/// Renders op tuples into a protocol stream over a small shared key space,
+/// so the mix includes hits, misses, overwrites, deletes of live and dead
+/// keys, contended `add`s, multi-key `get`s, and parse errors.
+fn build_stream(ops: &[(u8, u8, u8)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for &(op, kid, x) in ops {
+        let k = kid % 12;
+        match op % 7 {
+            0 | 1 => {
+                let len = (x % 40) as usize;
+                let val = vec![b'a' + (x % 26); len];
+                buf.extend_from_slice(format!("set key{k} {x} 0 {len}\r\n").as_bytes());
+                buf.extend_from_slice(&val);
+                buf.extend_from_slice(b"\r\n");
+            }
+            2 => buf.extend_from_slice(format!("get key{k}\r\n").as_bytes()),
+            3 => buf.extend_from_slice(
+                format!("get key{k} key{} key{}\r\n", (k + 1) % 12, (k + 5) % 12).as_bytes(),
+            ),
+            4 => buf.extend_from_slice(format!("delete key{k}\r\n").as_bytes()),
+            5 => buf.extend_from_slice(format!("add key{k} 0 0 1\r\ny\r\n").as_bytes()),
+            _ => buf.extend_from_slice(b"bogus junk\r\n"),
+        }
+    }
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feeding a stream in arbitrary chunks through the incremental
+    /// `serve_into` path produces byte-identical output — and an
+    /// identical store — to single-shot `serve` over the whole buffer.
+    #[test]
+    fn chunked_serving_matches_single_shot(
+        ops in proptest::collection::vec((0u8..7, 0u8..12, 0u8..=255u8), 1..40),
+        cuts in proptest::collection::vec(0u32..1000, 0..8),
+    ) {
+        let input = build_stream(&ops);
+
+        let s1 = fresh_store();
+        let (expect, consumed_single) = serve(&s1, &input, 0);
+
+        let mut points: Vec<usize> = cuts
+            .iter()
+            .map(|&c| c as usize * input.len() / 1000)
+            .collect();
+        points.push(input.len());
+        points.sort_unstable();
+
+        let s2 = fresh_store();
+        let mut pending: Vec<u8> = Vec::new();
+        let mut out = Vec::new();
+        let mut fed = 0usize;
+        for &p in &points {
+            if p > fed {
+                pending.extend_from_slice(&input[fed..p]);
+                fed = p;
+            }
+            let n = serve_into(&s2, &pending, 0, &mut out);
+            pending.drain(..n);
+        }
+
+        prop_assert_eq!(&out, &expect, "response bytes diverged");
+        prop_assert_eq!(input.len() - pending.len(), consumed_single);
+        prop_assert_eq!(s2.stats(), s1.stats());
+        prop_assert_eq!(s2.len(), s1.len());
+        prop_assert_eq!(s2.used_bytes(), s1.used_bytes());
+    }
+}
+
+/// N concurrent clients hammer the worker-pool server with pipelined
+/// batches on thread-unique keys; every batch's response must come back
+/// complete, in order, with nothing lost or duplicated.
+#[test]
+fn hammer_pipelined_clients_lose_nothing() {
+    let store = Arc::new(fresh_store());
+    let clock = LogicalClock::new();
+    let mut server = CacheServer::start_with(
+        store,
+        clock,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        None,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_nodelay(true).unwrap();
+                for batch in 0..8 {
+                    let mut req = Vec::new();
+                    let mut expect = Vec::new();
+                    for i in 0..32 {
+                        let key = format!("t{t}b{batch}i{i}");
+                        req.extend_from_slice(
+                            format!("set {key} 0 0 2\r\nxy\r\nget {key}\r\n").as_bytes(),
+                        );
+                        expect.extend_from_slice(
+                            format!("STORED\r\nVALUE {key} 0 2\r\nxy\r\nEND\r\n").as_bytes(),
+                        );
+                    }
+                    s.write_all(&req).unwrap();
+                    let mut got = vec![0u8; expect.len()];
+                    s.read_exact(&mut got).unwrap();
+                    assert!(
+                        got == expect,
+                        "thread {t} batch {batch}: responses lost, duplicated, or reordered"
+                    );
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().unwrap();
+    }
+    server.stop();
+    assert_eq!(server.active_connections(), 0);
+}
