@@ -30,6 +30,29 @@ cargo run --release -q -p spotcache-bench --bin cache_loadgen -- --smoke --out "
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$lg" 2>/dev/null \
     || { echo "loadgen snapshot is not valid JSON"; exit 1; }
 
+echo "==> trace smoke test (spans from every instrumented layer)"
+tr="$(mktemp /tmp/trace_dump.XXXXXX.json)"
+lgtr="$(mktemp /tmp/loadgen_trace.XXXXXX.json)"
+trap 'rm -f "$snap" "$lg" "$tr" "$lgtr"' EXIT
+# trace_dump exercises protocol, server, control, and recovery against one
+# tracer and asserts >=1 span per layer itself; re-check the JSON and the
+# per-layer coverage here so the gate does not rely on the bin's asserts.
+cargo run --release -q -p spotcache-bench --bin trace_dump -- --smoke --out "$tr" \
+    | grep -q "trace OK"
+python3 - "$tr" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+cats = {e["cat"] for e in events}
+missing = {"protocol", "server", "control", "recovery"} - cats
+assert not missing, f"trace is missing layers: {missing}"
+PY
+# The loadgen path with sampling on: trace must validate and cover the
+# data plane while the run still passes its throughput floors.
+cargo run --release -q -p spotcache-bench --bin cache_loadgen -- --smoke --out "$lg" \
+    --trace-out "$lgtr" | grep -q "loadgen OK"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$lgtr" 2>/dev/null \
+    || { echo "loadgen trace is not valid JSON"; exit 1; }
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

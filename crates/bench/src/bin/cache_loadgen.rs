@@ -16,7 +16,9 @@
 //! trajectory. The pipelined phase is expected to beat baseline by ≥2×.
 //!
 //! Flags: `--smoke` (small fixed-seed run with an ops/s floor for CI),
-//! `--out PATH` (default `BENCH_cache.json`), `--seed N`, `--conns N`.
+//! `--out PATH` (default `BENCH_cache.json`), `--seed N`, `--conns N`,
+//! `--trace-out PATH` (attach a sampling tracer to the server and write
+//! a Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -31,7 +33,7 @@ use spotcache_cache::protocol::serve;
 use spotcache_cache::server::{CacheServer, LogicalClock, ServerConfig};
 use spotcache_cache::store::{Store, StoreConfig};
 use spotcache_obs::export::validate_json;
-use spotcache_obs::Obs;
+use spotcache_obs::{Obs, Tracer, DEFAULT_TRACE_CAPACITY};
 use spotcache_workload::zipf::ScrambledZipfian;
 
 /// Value payload: CRLF-free filler so response framing is unambiguous.
@@ -44,6 +46,7 @@ const PIPELINE_DEPTH: usize = 64;
 struct Config {
     smoke: bool,
     out: String,
+    trace_out: Option<String>,
     seed: u64,
     conns: usize,
     key_space: u64,
@@ -55,6 +58,7 @@ impl Config {
     fn from_args() -> Self {
         let mut smoke = false;
         let mut out = "BENCH_cache.json".to_string();
+        let mut trace_out = None;
         let mut seed = 42u64;
         let mut conns: Option<usize> = None;
         let mut args = std::env::args().skip(1);
@@ -62,6 +66,7 @@ impl Config {
             match a.as_str() {
                 "--smoke" => smoke = true,
                 "--out" => out = args.next().expect("--out needs a path"),
+                "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
                 "--seed" => seed = args.next().expect("--seed needs a value").parse().unwrap(),
                 "--conns" => {
                     conns = Some(args.next().expect("--conns needs a value").parse().unwrap())
@@ -73,6 +78,7 @@ impl Config {
             Self {
                 smoke,
                 out,
+                trace_out,
                 seed,
                 conns: conns.unwrap_or(2),
                 key_space: 2_000,
@@ -83,6 +89,7 @@ impl Config {
             Self {
                 smoke,
                 out,
+                trace_out,
                 seed,
                 conns: conns.unwrap_or(4),
                 key_space: 10_000,
@@ -219,13 +226,20 @@ fn main() {
     assert_eq!(consumed, prefill.len(), "prefill must parse cleanly");
     println!("prefilled {} keys x {VALUE_LEN}B", cfg.key_space);
 
+    // `--trace-out` attaches a record-everything tracer: the point of a
+    // loadgen trace is a complete picture of a short run, not sampling.
+    let tracer = cfg
+        .trace_out
+        .as_ref()
+        .map(|_| Tracer::all(DEFAULT_TRACE_CAPACITY));
     let clock = LogicalClock::new();
-    let mut server = CacheServer::start_with(
+    let mut server = CacheServer::start_full(
         Arc::clone(&store),
         clock,
         "127.0.0.1:0",
         ServerConfig::default(),
         None,
+        tracer.clone(),
     )
     .expect("start server");
     let addr = server.addr();
@@ -277,6 +291,24 @@ fn main() {
     validate_json(&json).unwrap_or_else(|at| panic!("snapshot JSON invalid at byte {at}"));
     std::fs::write(&cfg.out, &json).expect("write snapshot");
     println!("wrote {}", cfg.out);
+
+    if let (Some(path), Some(tracer)) = (&cfg.trace_out, &tracer) {
+        let trace = tracer.chrome_trace_json();
+        validate_json(&trace).unwrap_or_else(|at| panic!("trace JSON invalid at byte {at}"));
+        let cats = tracer.categories();
+        for layer in ["protocol", "server"] {
+            assert!(
+                cats.contains(&layer),
+                "trace missing {layer} spans: {cats:?}"
+            );
+        }
+        std::fs::write(path, &trace).expect("write trace");
+        println!(
+            "wrote {path}: {} spans across {cats:?} ({} dropped)",
+            tracer.len(),
+            tracer.dropped()
+        );
+    }
 
     if cfg.smoke {
         // Conservative floors for a loaded single-core CI box.

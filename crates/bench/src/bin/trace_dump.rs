@@ -1,0 +1,122 @@
+//! trace_dump: exercise every instrumented layer and dump one combined
+//! Chrome trace-event JSON.
+//!
+//! Runs, against a single shared [`Tracer`]:
+//!
+//! 1. the **data plane** — a worker-pool [`CacheServer`] driven over real
+//!    TCP (`server.*` spans) whose protocol loop records per-request
+//!    `protocol.*` spans,
+//! 2. the **control plane** — a short hourly simulation (`control.*`
+//!    spans: replan, bid placement, revocation handling), and
+//! 3. a **failure recovery** — the Figure 11 warm-up timeline
+//!    (`recovery.*` spans: warm-up pump, token-bucket refill, organic
+//!    fill).
+//!
+//! The combined buffer is rendered as Chrome trace-event JSON (loadable
+//! in Perfetto or `chrome://tracing`), validated with the in-tree JSON
+//! validator, and checked for ≥1 span from each of the four layers — the
+//! CI trace smoke gate.
+//!
+//! Flags: `--out PATH` (default `trace_dump.json`), `--smoke` (accepted
+//! for gate symmetry; the run is always smoke-sized).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use spotcache_bench::heading;
+use spotcache_cache::server::{CacheServer, LogicalClock, ServerConfig};
+use spotcache_cache::store::{Store, StoreConfig};
+use spotcache_cloud::catalog::find_type;
+use spotcache_cloud::tracegen::paper_traces;
+use spotcache_core::simulation::{simulate_traced, SimConfig};
+use spotcache_core::Approach;
+use spotcache_obs::export::validate_json;
+use spotcache_obs::{Obs, Tracer, DEFAULT_TRACE_CAPACITY};
+use spotcache_sim::recovery::{simulate_recovery_traced, BackupChoice, RecoveryConfig};
+
+/// The four span categories the dump must cover, one per layer.
+const LAYERS: [&str; 4] = ["control", "protocol", "recovery", "server"];
+
+fn main() {
+    let mut out = "trace_dump.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--smoke" => {}
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    heading("Span-trace dump across all instrumented layers");
+    let tracer = Tracer::all(DEFAULT_TRACE_CAPACITY);
+
+    // Layer 1+2: data plane over real TCP.
+    let store = Arc::new(Store::new(StoreConfig {
+        capacity_bytes: 16 << 20,
+        shards: 4,
+    }));
+    let mut server = CacheServer::start_full(
+        Arc::clone(&store),
+        LogicalClock::new(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        None,
+        Some(Arc::clone(&tracer)),
+    )
+    .expect("start server");
+    {
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        s.set_nodelay(true).expect("nodelay");
+        let mut req = Vec::new();
+        for i in 0..200 {
+            req.extend_from_slice(format!("set key{i} 0 0 4\r\nabcd\r\nget key{i}\r\n").as_bytes());
+        }
+        s.write_all(&req).expect("write");
+        // Drain until every command has answered (200 STORED + 200 END).
+        let mut resp = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        while resp.windows(5).filter(|w| *w == b"END\r\n").count() < 200 {
+            use std::io::Read;
+            let n = s.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed early");
+            resp.extend_from_slice(&chunk[..n]);
+        }
+    }
+    server.stop();
+    println!("data plane: {} spans so far", tracer.len());
+
+    // Layer 3: control plane (10 simulated days, Prop_NoBackup).
+    let mut cfg = SimConfig::paper_default(Approach::PropNoBackup, 320_000.0, 60.0, 2.0);
+    cfg.days = 10;
+    let obs = Arc::new(Obs::new());
+    simulate_traced(
+        &cfg,
+        &paper_traces(10),
+        Some(obs),
+        Some(Arc::clone(&tracer)),
+    )
+    .expect("simulation");
+    println!("control plane: {} spans so far", tracer.len());
+
+    // Layer 4: failure recovery (Figure 11, t2.medium backup).
+    let rcfg = RecoveryConfig::figure11(BackupChoice::Instance(
+        find_type("t2.medium").expect("t2.medium in catalog"),
+    ));
+    simulate_recovery_traced(&rcfg, None, Some(&tracer));
+    println!("recovery: {} spans total", tracer.len());
+
+    let trace = tracer.chrome_trace_json();
+    validate_json(&trace).unwrap_or_else(|at| panic!("trace JSON invalid at byte {at}"));
+    let cats = tracer.categories();
+    for layer in LAYERS {
+        assert!(cats.contains(&layer), "no {layer} spans in {cats:?}");
+    }
+    std::fs::write(&out, &trace).expect("write trace");
+    println!(
+        "wrote {out}: {} spans across {cats:?} ({} dropped)",
+        tracer.len(),
+        tracer.dropped()
+    );
+    println!("trace OK");
+}

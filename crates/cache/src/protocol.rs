@@ -45,9 +45,21 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use spotcache_obs::{Counter, EventKind, Histogram, Obs};
+use spotcache_obs::{Counter, EventKind, Histogram, Obs, SpanGuard, Tracer};
 
 use crate::store::{SetOutcome, SetPolicy, Store};
+
+/// Opens a span when a tracer is attached; a `None` tracer costs one
+/// `match`, a disabled tracer one relaxed atomic load — the hot path's
+/// tracing overhead budget.
+#[inline]
+fn maybe_span<'a>(
+    tracer: Option<&'a Tracer>,
+    cat: &'static str,
+    name: &'static str,
+) -> Option<SpanGuard<'a>> {
+    tracer.map(|t| t.span(cat, name))
+}
 
 /// Maximum key length accepted (memcached's limit).
 pub const MAX_KEY_LEN: usize = 250;
@@ -461,10 +473,66 @@ struct OpReport {
     hit: bool,
 }
 
+/// Appends one `STAT <name> <value>\r\n` line with an `f64` value.
+/// Non-finite values render as `0` so the output stays parseable.
+fn write_stat_f64(out: &mut Vec<u8>, name: &str, suffix: &str, v: f64) {
+    out.extend_from_slice(b"STAT ");
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(suffix.as_bytes());
+    out.push(b' ');
+    if !v.is_finite() || v == 0.0 {
+        // Non-finite renders as 0; `v == 0.0` also catches -0.0, which
+        // would otherwise print as "-0".
+        out.push(b'0');
+    } else {
+        out.extend_from_slice(format!("{v}").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends the obs-registry series as `STAT` lines: counters and gauges
+/// verbatim, histograms as `_count`/`_mean`/`_p50`/`_p95`/`_p99`/`_max`
+/// summaries. Name-ordered (the registry enumerates deterministically).
+fn write_registry_stats(out: &mut Vec<u8>, obs: &Obs) {
+    for (name, metric) in obs.registry().metrics() {
+        match metric {
+            spotcache_obs::Metric::Counter(c) => {
+                out.extend_from_slice(b"STAT ");
+                out.extend_from_slice(name.as_bytes());
+                out.push(b' ');
+                write_u64(out, c.get());
+                out.extend_from_slice(b"\r\n");
+            }
+            spotcache_obs::Metric::Gauge(g) => {
+                write_stat_f64(out, &name, "", g.get());
+            }
+            spotcache_obs::Metric::Histogram(h) => {
+                out.extend_from_slice(b"STAT ");
+                out.extend_from_slice(name.as_bytes());
+                out.extend_from_slice(b"_count ");
+                write_u64(out, h.count());
+                out.extend_from_slice(b"\r\n");
+                write_stat_f64(out, &name, "_mean", h.mean());
+                write_stat_f64(out, &name, "_p50", h.quantile(0.50));
+                write_stat_f64(out, &name, "_p95", h.quantile(0.95));
+                write_stat_f64(out, &name, "_p99", h.quantile(0.99));
+                write_stat_f64(out, &name, "_max", h.max());
+            }
+        }
+    }
+}
+
 /// Executes a single non-`get` request, appending its response to `out`.
 /// (`get`s are executed in batches by the serving loop; [`execute_into`]
-/// has its own per-key path for the owned API.)
-fn exec_mutation(store: &Store, req: &Request<'_>, now: u64, out: &mut Vec<u8>) -> OpReport {
+/// has its own per-key path for the owned API.) `obs` extends the `stats`
+/// response with the registry's series.
+fn exec_mutation(
+    store: &Store,
+    req: &Request<'_>,
+    now: u64,
+    obs: Option<&ProtocolObs>,
+    out: &mut Vec<u8>,
+) -> OpReport {
     match *req {
         Request::Get { .. } => {
             debug_assert!(false, "gets are executed via the batch path");
@@ -610,6 +678,9 @@ fn exec_mutation(store: &Store, req: &Request<'_>, now: u64, out: &mut Vec<u8>) 
                 write_u64(out, v);
                 out.extend_from_slice(b"\r\n");
             }
+            if let Some(po) = obs {
+                write_registry_stats(out, po.bundle());
+            }
             out.extend_from_slice(b"END\r\n");
             OpReport {
                 op: "other",
@@ -659,6 +730,7 @@ pub fn execute_into(store: &Store, cmd: &Command, now: u64, out: &mut Vec<u8>) {
                     noreply: *noreply,
                 },
                 now,
+                None,
                 out,
             );
         }
@@ -670,6 +742,7 @@ pub fn execute_into(store: &Store, cmd: &Command, now: u64, out: &mut Vec<u8>) {
                     noreply: *noreply,
                 },
                 now,
+                None,
                 out,
             );
         }
@@ -688,17 +761,18 @@ pub fn execute_into(store: &Store, cmd: &Command, now: u64, out: &mut Vec<u8>) {
                     noreply: *noreply,
                 },
                 now,
+                None,
                 out,
             );
         }
         Command::FlushAll => {
-            exec_mutation(store, &Request::FlushAll, now, out);
+            exec_mutation(store, &Request::FlushAll, now, None, out);
         }
         Command::Version => {
-            exec_mutation(store, &Request::Version, now, out);
+            exec_mutation(store, &Request::Version, now, None, out);
         }
         Command::Stats => {
-            exec_mutation(store, &Request::Stats, now, out);
+            exec_mutation(store, &Request::Stats, now, None, out);
         }
     }
 }
@@ -711,6 +785,7 @@ pub fn execute_into(store: &Store, cmd: &Command, now: u64, out: &mut Vec<u8>) {
 /// logical `now`, keeping event streams replayable.
 pub struct ProtocolObs {
     obs: Arc<Obs>,
+    tracer: Option<Arc<Tracer>>,
     get: Counter,
     store: Counter,
     delete: Counter,
@@ -735,8 +810,21 @@ impl ProtocolObs {
             misses: obs.counter("cache_get_misses_total"),
             parse_errors: obs.counter("cache_parse_errors_total"),
             latency_us: obs.histogram("cache_op_latency_us"),
+            tracer: None,
             obs,
         }
+    }
+
+    /// Attaches a span tracer: serving through this handle opens
+    /// `protocol.*` spans (parse, batched lookup, serialize, mutations).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
     }
 
     /// The underlying bundle (for snapshotting).
@@ -793,17 +881,23 @@ fn flush_gets(
     scratch: &mut ServeScratch,
     now: u64,
     obs: Option<&ProtocolObs>,
+    tracer: Option<&Tracer>,
     out: &mut Vec<u8>,
 ) {
     if scratch.cmd_keys.is_empty() {
         return;
     }
+    let _batch_span = maybe_span(tracer, "protocol", "get_batch");
     let start = obs.map(|_| Instant::now());
-    store.get_many_into(
-        scratch.key_ranges.iter().map(|&(o, l)| &input[o..o + l]),
-        now,
-        &mut scratch.values,
-    );
+    {
+        let _lookup_span = maybe_span(tracer, "protocol", "store_lookup");
+        store.get_many_into(
+            scratch.key_ranges.iter().map(|&(o, l)| &input[o..o + l]),
+            now,
+            &mut scratch.values,
+        );
+    }
+    let serialize_span = maybe_span(tracer, "protocol", "serialize");
     scratch.cmd_hits.clear();
     let mut vi = 0;
     for &nk in &scratch.cmd_keys {
@@ -821,6 +915,7 @@ fn flush_gets(
         out.extend_from_slice(b"END\r\n");
         scratch.cmd_hits.push(hits);
     }
+    drop(serialize_span);
     if let (Some(po), Some(start)) = (obs, start) {
         // The batch is timed as a unit; each command is attributed an
         // equal share so latency sums stay meaningful.
@@ -842,12 +937,17 @@ fn serve_loop(
     input: &[u8],
     now: u64,
     obs: Option<&ProtocolObs>,
+    tracer: Option<&Tracer>,
     out: &mut Vec<u8>,
     scratch: &mut ServeScratch,
 ) -> usize {
+    let _serve_span = maybe_span(tracer, "protocol", "serve");
     let mut consumed = 0;
     while consumed < input.len() {
-        match parse_request(&input[consumed..]) {
+        let parse_span = maybe_span(tracer, "protocol", "parse");
+        let parsed = parse_request(&input[consumed..]);
+        drop(parse_span);
+        match parsed {
             Ok((Request::Get { keys }, n)) => {
                 // Defer: consecutive gets execute as one store batch.
                 let mut nk = 0;
@@ -860,9 +960,10 @@ fn serve_loop(
                 consumed += n;
             }
             Ok((req, n)) => {
-                flush_gets(store, input, scratch, now, obs, out);
+                flush_gets(store, input, scratch, now, obs, tracer, out);
+                let _exec_span = maybe_span(tracer, "protocol", "execute");
                 let start = obs.map(|_| Instant::now());
-                let report = exec_mutation(store, &req, now, out);
+                let report = exec_mutation(store, &req, now, obs, out);
                 if let (Some(po), Some(start)) = (obs, start) {
                     po.record(
                         report.op,
@@ -875,7 +976,7 @@ fn serve_loop(
             }
             Err(ParseError::Incomplete) => break,
             Err(e) => {
-                flush_gets(store, input, scratch, now, obs, out);
+                flush_gets(store, input, scratch, now, obs, tracer, out);
                 if let Some(po) = obs {
                     po.parse_errors.inc();
                 }
@@ -888,7 +989,7 @@ fn serve_loop(
             }
         }
     }
-    flush_gets(store, input, scratch, now, obs, out);
+    flush_gets(store, input, scratch, now, obs, tracer, out);
     consumed
 }
 
@@ -930,8 +1031,28 @@ pub fn serve_observed_into(
     obs: Option<&ProtocolObs>,
     out: &mut Vec<u8>,
 ) -> usize {
+    let tracer = obs.and_then(|po| po.tracer());
     let mut scratch = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
-    let consumed = serve_loop(store, input, now, obs, out, &mut scratch);
+    let consumed = serve_loop(store, input, now, obs, tracer, out, &mut scratch);
+    SCRATCH.with(|s| *s.borrow_mut() = scratch);
+    consumed
+}
+
+/// [`serve_into`] with span tracing but no metric/journal recording: the
+/// leanest instrumented path. With `tracer` disabled (or `None`) this is
+/// byte-for-byte the [`serve_into`] hot path and performs **zero heap
+/// allocations** per op in steady state — `tests/zero_alloc.rs` proves it
+/// with a counting allocator. With tracing enabled the wire output is
+/// byte-identical; only spans are recorded on the side.
+pub fn serve_traced_into(
+    store: &Store,
+    input: &[u8],
+    now: u64,
+    tracer: Option<&Tracer>,
+    out: &mut Vec<u8>,
+) -> usize {
+    let mut scratch = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    let consumed = serve_loop(store, input, now, None, tracer, out, &mut scratch);
     SCRATCH.with(|s| *s.borrow_mut() = scratch);
     consumed
 }
@@ -1070,6 +1191,79 @@ mod tests {
         assert!(events
             .iter()
             .all(|e| matches!(e.kind, spotcache_obs::EventKind::CacheOp { .. })));
+    }
+
+    #[test]
+    fn stats_reports_obs_registry_metrics_and_stays_parseable() {
+        let s = store();
+        let obs = Arc::new(Obs::new());
+        obs.gauge("node_price").set(-0.0); // normalization exercised
+        obs.gauge("bad_gauge").set(f64::NAN);
+        let po = ProtocolObs::new(Arc::clone(&obs));
+        // Drive some traffic so the cache_* series have values.
+        serve_observed(&s, b"set a 0 0 1\r\nx\r\nget a\r\nget zz\r\n", 0, Some(&po));
+        let (out, _) = serve_observed(&s, b"stats\r\n", 0, Some(&po));
+        let text = String::from_utf8(out).unwrap();
+        // Every line is `STAT <name> <value>` (value parses as f64) until
+        // the END terminator — the memcached stats contract.
+        let mut lines = text.split("\r\n").filter(|l| !l.is_empty()).peekable();
+        let mut n = 0;
+        while let Some(line) = lines.next() {
+            if lines.peek().is_none() {
+                assert_eq!(line, "END");
+                break;
+            }
+            let mut parts = line.splitn(3, ' ');
+            assert_eq!(parts.next(), Some("STAT"), "line {line:?}");
+            assert!(parts.next().is_some(), "line {line:?}");
+            let value = parts.next().expect("value");
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+            n += 1;
+        }
+        // Store snapshot fields plus registry series.
+        assert!(n > 7, "expected registry stats beyond the store's 7 fields");
+        assert!(text.contains("STAT cache_get_total 2"));
+        assert!(text.contains("STAT cache_get_hits_total 1"));
+        assert!(text.contains("STAT cache_op_latency_us_count 3"));
+        assert!(text.contains("STAT cache_op_latency_us_p95 "));
+        assert!(
+            text.contains("STAT node_price 0\r\n"),
+            "negative zero normalized"
+        );
+        assert!(text.contains("STAT bad_gauge 0\r\n"), "NaN rendered as 0");
+        // The un-observed path still returns the plain snapshot.
+        let plain = run(&s, "stats\r\n");
+        assert!(!plain.contains("cache_get_total"));
+    }
+
+    #[test]
+    fn traced_serve_output_is_byte_identical_and_spans_cover_the_layers() {
+        let s = store();
+        let s2 = store();
+        let tracer = spotcache_obs::Tracer::all(1024);
+        let input: &[u8] = b"set a 0 0 1\r\nx\r\nget a\r\nget a missing\r\ndelete a\r\nbogus\r\n";
+        let mut traced = Vec::new();
+        let mut plain = Vec::new();
+        let n1 = serve_traced_into(&s, input, 0, Some(&tracer), &mut traced);
+        let n2 = serve_into(&s2, input, 0, &mut plain);
+        assert_eq!(n1, n2);
+        assert_eq!(traced, plain, "tracing must not perturb wire output");
+        let names: std::collections::BTreeSet<&'static str> =
+            tracer.spans().iter().map(|r| r.name).collect();
+        for expect in [
+            "serve",
+            "parse",
+            "get_batch",
+            "store_lookup",
+            "serialize",
+            "execute",
+        ] {
+            assert!(names.contains(expect), "missing span {expect:?}: {names:?}");
+        }
+        assert!(tracer.spans().iter().all(|r| r.cat == "protocol"));
+        spotcache_obs::export::validate_json(&tracer.chrome_trace_json()).unwrap();
     }
 
     #[test]

@@ -24,9 +24,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use spotcache_obs::Obs;
+use spotcache_obs::{Obs, Tracer};
 
-use crate::protocol::{serve_observed_into, ProtocolObs};
+use crate::protocol::{serve_observed_into, serve_traced_into, ProtocolObs};
 use crate::store::Store;
 
 /// A source of seconds for TTL handling.
@@ -210,11 +210,13 @@ impl Conn {
     }
 
     /// One readiness pass: flush, read-and-serve, flush.
+    #[allow(clippy::too_many_arguments)]
     fn tick(
         &mut self,
         store: &Store,
         now: u64,
         obs: Option<&ProtocolObs>,
+        tracer: Option<&Tracer>,
         cfg: &ServerConfig,
         buf: &mut [u8],
     ) -> ConnState {
@@ -222,19 +224,39 @@ impl Conn {
         if !self.flush_out(&mut moved) {
             return ConnState::Closed;
         }
+        if !self.eof && self.backpressured(cfg) {
+            // The peer is not draining responses: this pass will not read.
+            // Emitted as a zero-length marker span so stalls are visible
+            // on the timeline.
+            if let Some(t) = tracer {
+                if t.is_enabled() {
+                    t.record_at("server", "backpressure_stall", t.now_us(), 0.0);
+                }
+            }
+        }
         while !self.eof && !self.backpressured(cfg) {
             match self.stream.read(buf) {
                 Ok(0) => self.eof = true,
                 Ok(n) => {
                     moved = true;
                     self.pending_in.extend_from_slice(&buf[..n]);
-                    let consumed = serve_observed_into(
-                        store,
-                        &self.pending_in,
-                        now,
-                        obs,
-                        &mut self.pending_out,
-                    );
+                    let consumed = if obs.is_some() {
+                        serve_observed_into(
+                            store,
+                            &self.pending_in,
+                            now,
+                            obs,
+                            &mut self.pending_out,
+                        )
+                    } else {
+                        serve_traced_into(
+                            store,
+                            &self.pending_in,
+                            now,
+                            tracer,
+                            &mut self.pending_out,
+                        )
+                    };
                     self.pending_in.drain(..consumed);
                     if consumed == 0 && self.pending_in.len() > cfg.max_pending_in {
                         // An endless incomplete "command": cut it off.
@@ -268,6 +290,7 @@ fn worker_loop(
     clock: Arc<dyn Clock>,
     shutdown: Arc<AtomicBool>,
     obs: Option<Arc<ProtocolObs>>,
+    tracer: Option<Arc<Tracer>>,
     cfg: ServerConfig,
     active: Arc<AtomicUsize>,
 ) {
@@ -294,9 +317,20 @@ fn worker_loop(
             }
         }
         let now = clock.now();
+        let pass_start = tracer
+            .as_deref()
+            .filter(|t| t.is_enabled())
+            .map(|t| t.now_us());
         let mut i = 0;
         while i < conns.len() {
-            match conns[i].tick(&store, now, obs.as_deref(), &cfg, &mut buf) {
+            match conns[i].tick(
+                &store,
+                now,
+                obs.as_deref(),
+                tracer.as_deref(),
+                &cfg,
+                &mut buf,
+            ) {
                 ConnState::Closed => {
                     active.fetch_sub(1, Ordering::SeqCst);
                     conns.swap_remove(i);
@@ -306,6 +340,13 @@ fn worker_loop(
                     moved |= m;
                     i += 1;
                 }
+            }
+        }
+        // Only passes that transferred bytes become spans — an idle
+        // spinning worker would otherwise flood the trace buffer.
+        if moved {
+            if let (Some(t), Some(t0)) = (tracer.as_deref(), pass_start) {
+                t.record_at("server", "poll_busy", t0, t.now_us() - t0);
             }
         }
         if moved {
@@ -362,6 +403,21 @@ impl CacheServer {
         config: ServerConfig,
         obs: Option<Arc<Obs>>,
     ) -> std::io::Result<CacheServer> {
+        Self::start_full(store, clock, addr, config, obs, None)
+    }
+
+    /// [`start_with`](Self::start_with) plus span tracing: when `tracer`
+    /// is supplied the server records `server.*` spans (accepted
+    /// connections, busy poll passes, backpressure stalls) and the
+    /// protocol layer records per-request `protocol.*` spans.
+    pub fn start_full(
+        store: Arc<Store>,
+        clock: impl Clock,
+        addr: &str,
+        config: ServerConfig,
+        obs: Option<Arc<Obs>>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> std::io::Result<CacheServer> {
         let listener = TcpListener::bind(addr)?;
         // Non-blocking accept: the loop can observe shutdown without
         // depending on a wake-up connection, so `stop()` cannot hang.
@@ -370,9 +426,13 @@ impl CacheServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
         let clock: Arc<dyn Clock> = Arc::new(clock);
-        let proto_obs = obs
-            .as_ref()
-            .map(|o| Arc::new(ProtocolObs::new(Arc::clone(o))));
+        let proto_obs = obs.as_ref().map(|o| {
+            let po = ProtocolObs::new(Arc::clone(o));
+            match &tracer {
+                Some(t) => Arc::new(po.with_tracer(Arc::clone(t))),
+                None => Arc::new(po),
+            }
+        });
         let conn_counter = obs.as_ref().map(|o| o.counter("server_connections_total"));
         let retry_counter = obs
             .as_ref()
@@ -388,15 +448,17 @@ impl CacheServer {
             let clock = Arc::clone(&clock);
             let shutdown = Arc::clone(&shutdown);
             let obs = proto_obs.clone();
+            let tracer = tracer.clone();
             let cfg = config.clone();
             let active = Arc::clone(&active);
             let handle = std::thread::Builder::new()
                 .name(format!("cache-worker-{w}"))
-                .spawn(move || worker_loop(rx, store, clock, shutdown, obs, cfg, active))?;
+                .spawn(move || worker_loop(rx, store, clock, shutdown, obs, tracer, cfg, active))?;
             worker_handles.push(handle);
         }
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_tracer = tracer.clone();
         let accept_handle = std::thread::Builder::new()
             .name("cache-accept".to_string())
             .spawn(move || {
@@ -404,6 +466,8 @@ impl CacheServer {
                 while !accept_shutdown.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((s, _)) => {
+                            let _accept_span =
+                                accept_tracer.as_deref().map(|t| t.span("server", "accept"));
                             if let Some(c) = &conn_counter {
                                 c.inc();
                             }
@@ -716,6 +780,38 @@ mod tests {
             assert_eq!(c.set("k", b"v", 0).unwrap(), "STORED");
         }
         server.stop();
+    }
+
+    #[test]
+    fn traced_server_records_server_and_protocol_spans() {
+        let store = Arc::new(Store::new(StoreConfig {
+            capacity_bytes: 4 << 20,
+            shards: 4,
+        }));
+        let clock = LogicalClock::new();
+        let tracer = Tracer::all(8192);
+        let mut server = CacheServer::start_full(
+            Arc::clone(&store),
+            clock,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            None,
+            Some(Arc::clone(&tracer)),
+        )
+        .unwrap();
+        let mut client = CacheClient::connect(server.addr()).unwrap();
+        client.set("k", b"v", 0).unwrap();
+        assert!(client.get("k").unwrap().is_some());
+        server.stop();
+        let cats = tracer.categories();
+        assert!(cats.contains(&"server"), "{cats:?}");
+        assert!(cats.contains(&"protocol"), "{cats:?}");
+        let names: std::collections::BTreeSet<&'static str> =
+            tracer.spans().iter().map(|r| r.name).collect();
+        for expect in ["accept", "poll_busy", "serve"] {
+            assert!(names.contains(expect), "missing {expect:?}: {names:?}");
+        }
+        spotcache_obs::export::validate_json(&tracer.chrome_trace_json()).unwrap();
     }
 
     #[test]

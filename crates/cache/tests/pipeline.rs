@@ -9,9 +9,10 @@ use std::net::TcpStream;
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use spotcache_cache::protocol::{serve, serve_into};
+use spotcache_cache::protocol::{serve, serve_into, serve_traced_into};
 use spotcache_cache::server::{CacheServer, LogicalClock, ServerConfig};
 use spotcache_cache::store::{Store, StoreConfig};
+use spotcache_obs::Tracer;
 
 fn fresh_store() -> Store {
     Store::new(StoreConfig {
@@ -89,6 +90,47 @@ proptest! {
         prop_assert_eq!(s2.len(), s1.len());
         prop_assert_eq!(s2.used_bytes(), s1.used_bytes());
     }
+
+    /// The same chunk-boundary property with span tracing ENABLED: the
+    /// tracer records on the side, and the wire bytes, consumed count,
+    /// and store state stay byte-identical to the untraced single shot.
+    #[test]
+    fn chunked_serving_with_tracing_matches_single_shot(
+        ops in proptest::collection::vec((0u8..7, 0u8..12, 0u8..=255u8), 1..40),
+        cuts in proptest::collection::vec(0u32..1000, 0..8),
+    ) {
+        let input = build_stream(&ops);
+
+        let s1 = fresh_store();
+        let (expect, consumed_single) = serve(&s1, &input, 0);
+
+        let mut points: Vec<usize> = cuts
+            .iter()
+            .map(|&c| c as usize * input.len() / 1000)
+            .collect();
+        points.push(input.len());
+        points.sort_unstable();
+
+        let tracer = Tracer::all(1 << 16);
+        let s2 = fresh_store();
+        let mut pending: Vec<u8> = Vec::new();
+        let mut out = Vec::new();
+        let mut fed = 0usize;
+        for &p in &points {
+            if p > fed {
+                pending.extend_from_slice(&input[fed..p]);
+                fed = p;
+            }
+            let n = serve_traced_into(&s2, &pending, 0, Some(&tracer), &mut out);
+            pending.drain(..n);
+        }
+
+        prop_assert_eq!(&out, &expect, "tracing perturbed the wire output");
+        prop_assert_eq!(input.len() - pending.len(), consumed_single);
+        prop_assert_eq!(s2.stats(), s1.stats());
+        prop_assert!(tracer.len() > 0, "enabled tracer recorded nothing");
+        prop_assert!(tracer.spans().iter().all(|r| r.cat == "protocol"));
+    }
 }
 
 /// N concurrent clients hammer the worker-pool server with pipelined
@@ -96,9 +138,25 @@ proptest! {
 /// complete, in order, with nothing lost or duplicated.
 #[test]
 fn hammer_pipelined_clients_lose_nothing() {
+    hammer(None);
+}
+
+/// The same hammer with span tracing enabled on the server: responses
+/// stay byte-exact while the tracer fills with server+protocol spans.
+#[test]
+fn hammer_with_tracing_enabled_stays_byte_exact() {
+    let tracer = Tracer::all(1 << 16);
+    hammer(Some(Arc::clone(&tracer)));
+    let cats = tracer.categories();
+    assert!(cats.contains(&"protocol"), "{cats:?}");
+    assert!(cats.contains(&"server"), "{cats:?}");
+    spotcache_obs::export::validate_json(&tracer.chrome_trace_json()).unwrap();
+}
+
+fn hammer(tracer: Option<Arc<Tracer>>) {
     let store = Arc::new(fresh_store());
     let clock = LogicalClock::new();
-    let mut server = CacheServer::start_with(
+    let mut server = CacheServer::start_full(
         store,
         clock,
         "127.0.0.1:0",
@@ -107,6 +165,7 @@ fn hammer_pipelined_clients_lose_nothing() {
             ..ServerConfig::default()
         },
         None,
+        tracer,
     )
     .unwrap();
     let addr = server.addr();

@@ -12,29 +12,40 @@
 //! perturb the global counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
-use spotcache_cache::protocol::serve_into;
+use spotcache_cache::protocol::{serve_into, serve_traced_into};
 use spotcache_cache::store::{Store, StoreConfig};
+use spotcache_obs::Tracer;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+// Per-thread counting: a process-global counter also picks up stray
+// allocations from the libtest harness's own threads, which made the
+// zero-allocation assertions flaky. Const-initialized TLS is itself
+// allocation-free, and `try_with` tolerates thread teardown.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc(l)
     }
     unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
         System.dealloc(p, l)
     }
     unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.realloc(p, l, new_size)
     }
     unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc_zeroed(l)
     }
 }
@@ -43,7 +54,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
-    ALLOCS.load(Ordering::Relaxed)
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
 }
 
 #[test]
@@ -91,6 +102,26 @@ fn response_path_is_allocation_free_in_steady_state() {
     assert_eq!(
         read_path_allocs, 0,
         "hits/misses/errors must not allocate in steady state"
+    );
+
+    // Tracing compiled in but disabled must keep the guarantee: the
+    // traced entry point with a switched-off tracer is the same hot path
+    // plus one relaxed atomic load per span point.
+    let tracer = Tracer::disabled();
+    for _ in 0..3 {
+        out.clear();
+        serve_traced_into(&store, &input, 0, Some(&tracer), &mut out);
+    }
+    let before = allocs();
+    for _ in 0..100 {
+        out.clear();
+        let consumed = serve_traced_into(&store, &input, 0, Some(&tracer), &mut out);
+        assert_eq!(consumed, input.len());
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "a disabled tracer must not allocate on the read path"
     );
 
     // Storage commands: overwriting sets in steady state. The replied

@@ -28,7 +28,7 @@ use std::sync::Arc;
 use crate::controller::{GlobalController, SlotPlan};
 use crate::Approach;
 use spotcache_cloud::spot::SpotTrace;
-use spotcache_obs::{EventKind, Obs};
+use spotcache_obs::{EventKind, Obs, SlidingWindow, SloWindow, StormDetector, Tracer};
 use spotcache_optimizer::{OfferKind, SolveError, WorkloadForecast};
 use spotcache_sim::engine::EventQueue;
 use spotcache_sim::metrics::ControlMetrics;
@@ -168,6 +168,65 @@ enum LoopEvent {
     Step { slot: u64, step: u64 },
 }
 
+/// Control slots a telemetry window spans (cost, demand, SLO outcomes).
+const TELEMETRY_WINDOW_SLOTS: usize = 24;
+
+/// Revocations within one storm window that flag a revocation storm.
+const STORM_THRESHOLD: u64 = 8;
+
+/// Windowed SLO telemetry the loop derives per control cycle.
+///
+/// A slot *meets* the SLO when no revocations landed in it; the burn rate
+/// is the windowed bad-slot fraction against the configured ζ
+/// availability target ([`SloWindow`] semantics: 1.0 = exactly on
+/// budget). Everything here is derived from logical slot times, so
+/// instrumented runs stay deterministic.
+struct ControlTelemetry {
+    cost: SlidingWindow,
+    demand: SlidingWindow,
+    slo: SloWindow,
+    storms: StormDetector,
+    /// Revocations ingested since the last replan closed its slot.
+    slot_revocations: u64,
+}
+
+impl ControlTelemetry {
+    fn new(zeta: f64, slot_secs: u64) -> Self {
+        Self {
+            cost: SlidingWindow::new(TELEMETRY_WINDOW_SLOTS),
+            demand: SlidingWindow::new(TELEMETRY_WINDOW_SLOTS),
+            slo: SloWindow::new(zeta, TELEMETRY_WINDOW_SLOTS),
+            storms: StormDetector::new(
+                slot_secs.max(1) * TELEMETRY_WINDOW_SLOTS as u64 / 4,
+                STORM_THRESHOLD,
+            ),
+            slot_revocations: 0,
+        }
+    }
+
+    /// Folds one closed control slot into the windows and publishes the
+    /// aggregates as `control_window_*` gauges.
+    fn close_slot(&mut self, t: u64, cost: f64, demand_rate: f64, o: &Obs) {
+        self.cost.observe(t, cost);
+        self.demand.observe(t, demand_rate);
+        self.slo.record(self.slot_revocations == 0);
+        self.slot_revocations = 0;
+        let cost_stats = self.cost.stats();
+        let demand_stats = self.demand.stats();
+        o.gauge("control_window_cost_mean").set(cost_stats.mean);
+        o.gauge("control_window_cost_p95").set(cost_stats.p95);
+        o.gauge("control_window_demand_mean").set(demand_stats.mean);
+        o.gauge("control_window_demand_p95").set(demand_stats.p95);
+        o.gauge("control_window_bad_frac").set(self.slo.bad_frac());
+        o.gauge("control_window_burn_rate")
+            .set(self.slo.burn_rate());
+        o.gauge("control_window_revocation_rate")
+            .set(self.storms.rate(t));
+        o.gauge("control_window_revocation_storm")
+            .set(if self.storms.is_storm(t) { 1.0 } else { 0.0 });
+    }
+}
+
 /// The one driver for every substrate: schedules replans and steps on a
 /// [`EventQueue`], runs predict→optimize→act per slot, and keeps the
 /// [`GlobalController`]'s models fed.
@@ -175,6 +234,8 @@ pub struct ControlLoop {
     controller: GlobalController,
     theta: f64,
     obs: Option<Arc<Obs>>,
+    tracer: Option<Arc<Tracer>>,
+    telemetry: Option<ControlTelemetry>,
 }
 
 impl ControlLoop {
@@ -185,6 +246,8 @@ impl ControlLoop {
             controller,
             theta,
             obs: None,
+            tracer: None,
+            telemetry: None,
         }
     }
 
@@ -196,6 +259,28 @@ impl ControlLoop {
     pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
         self.obs = Some(obs);
         self
+    }
+
+    /// Attaches a span tracer: every control cycle emits `control.*`
+    /// spans (replan, bid placement, revocation handling) stamped with
+    /// the cycle's **logical** slot time — wall clocks never enter the
+    /// trace timeline, only the measured durations.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Records a logical control-plane span: timestamp is `t` seconds on
+    /// the slot clock, duration is the wall time the phase took.
+    fn trace_cycle(&self, name: &'static str, t: u64, started: std::time::Instant) {
+        if let Some(tr) = &self.tracer {
+            tr.record_at(
+                "control",
+                name,
+                t as f64 * 1e6,
+                started.elapsed().as_secs_f64() * 1e6,
+            );
+        }
     }
 
     /// Drives `substrate` to completion and returns its metrics.
@@ -225,14 +310,22 @@ impl ControlLoop {
             }
         }
 
+        if self.obs.is_some() {
+            self.telemetry = Some(ControlTelemetry::new(
+                self.controller.config().cost.zeta,
+                sched.slot_secs,
+            ));
+        }
         let forecasting = substrate.plans_from_forecast();
         let mut revocations: Vec<SubstrateEvent> = Vec::new();
         while let Some((t, event)) = queue.pop() {
             match event {
                 LoopEvent::Replan { slot } => {
+                    let cycle_start = std::time::Instant::now();
                     revocations.extend(substrate.advance(t));
                     self.ingest(t, &mut revocations);
                     let obs = substrate.observe(t);
+                    let solve_start = std::time::Instant::now();
                     let plan = match &fixed_plan {
                         Some(p) => p.clone(),
                         None => {
@@ -240,10 +333,15 @@ impl ControlLoop {
                             self.controller.plan(&refs, t, self.theta, rate, wss)?
                         }
                     };
+                    self.trace_cycle("bid_placement", t, solve_start);
                     self.record_plan(t, &plan, &obs);
                     revocations.extend(substrate.act(t, slot, &plan, &obs));
                     self.ingest(t, &mut revocations);
                     self.controller.observe(obs.actual.rate, obs.actual.wss_gb);
+                    if let (Some(tel), Some(o)) = (&mut self.telemetry, &self.obs) {
+                        tel.close_slot(t, plan.alloc.cost, obs.actual.rate, o);
+                    }
+                    self.trace_cycle("replan", t, cycle_start);
                 }
                 LoopEvent::Step { slot: _, step } => {
                     revocations.extend(substrate.step(t, step));
@@ -323,9 +421,15 @@ impl ControlLoop {
     }
 
     fn ingest(&mut self, t: u64, events: &mut Vec<SubstrateEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let started = std::time::Instant::now();
+        let mut revoked = 0u64;
         for event in events.drain(..) {
             match event {
                 SubstrateEvent::Revoked { label, count } => {
+                    revoked += u64::from(count);
                     if let Some(o) = &self.obs {
                         o.counter("control_revocations_total").add(u64::from(count));
                         o.event(
@@ -340,6 +444,13 @@ impl ControlLoop {
                     self.controller.on_revocation(&label, count);
                 }
             }
+        }
+        if let Some(tel) = &mut self.telemetry {
+            tel.slot_revocations += revoked;
+            tel.storms.record(t, revoked);
+        }
+        if revoked > 0 {
+            self.trace_cycle("revocation_handling", t, started);
         }
     }
 }

@@ -16,7 +16,7 @@ use spotcache_cloud::billing::CostCategory;
 use spotcache_cloud::catalog::InstanceType;
 use spotcache_cloud::spot::SpotTrace;
 use spotcache_cloud::{DAY, HOUR};
-use spotcache_obs::Obs;
+use spotcache_obs::{Obs, Tracer};
 use spotcache_optimizer::problem::{OfferKind, SolveError};
 use spotcache_sim::metrics::{ControlMetrics, SlotRecord};
 use spotcache_workload::wikipedia::WikipediaTrace;
@@ -381,11 +381,25 @@ pub fn simulate_observed(
     markets: &[SpotTrace],
     obs: Option<Arc<Obs>>,
 ) -> Result<SimResult, SolveError> {
+    simulate_traced(cfg, markets, obs, None)
+}
+
+/// [`simulate_observed`] plus control-plane span tracing: per-cycle
+/// `control.*` spans land in `tracer` stamped with logical slot times.
+pub fn simulate_traced(
+    cfg: &SimConfig,
+    markets: &[SpotTrace],
+    obs: Option<Arc<Obs>>,
+    tracer: Option<Arc<Tracer>>,
+) -> Result<SimResult, SolveError> {
     let controller = GlobalController::new(cfg.controller.clone());
     let substrate = HourlySim::new(cfg.clone(), markets.to_vec());
     let mut control = ControlLoop::new(controller, cfg.theta);
     if let Some(obs) = obs {
         control = control.with_obs(obs);
+    }
+    if let Some(tracer) = tracer {
+        control = control.with_tracer(tracer);
     }
     control.run(substrate)
 }
@@ -399,6 +413,41 @@ mod tests {
         let mut cfg = SimConfig::paper_default(approach, 320_000.0, 60.0, 2.0);
         cfg.days = 21;
         simulate(&cfg, &paper_traces(21)).unwrap()
+    }
+
+    #[test]
+    fn traced_simulation_emits_control_spans_and_window_gauges() {
+        let mut cfg = SimConfig::paper_default(Approach::PropNoBackup, 320_000.0, 60.0, 2.0);
+        cfg.days = 10;
+        let obs = Arc::new(Obs::new());
+        let tracer = Tracer::all(16_384);
+        simulate_traced(
+            &cfg,
+            &paper_traces(10),
+            Some(Arc::clone(&obs)),
+            Some(Arc::clone(&tracer)),
+        )
+        .unwrap();
+        assert!(tracer.categories().contains(&"control"));
+        let names: std::collections::BTreeSet<&'static str> =
+            tracer.spans().iter().map(|r| r.name).collect();
+        assert!(names.contains("replan"), "{names:?}");
+        assert!(names.contains("bid_placement"), "{names:?}");
+        // Span timestamps are logical slot seconds (in µs), so the first
+        // replan lands exactly on the schedule's start.
+        let min_ts = tracer
+            .spans()
+            .iter()
+            .map(|s| s.ts_us)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(min_ts % 3_600e6, 0.0, "slot-aligned logical timestamps");
+        // Windowed telemetry published as gauges.
+        assert!(obs.gauge("control_window_cost_mean").get() > 0.0);
+        assert!(obs.gauge("control_window_burn_rate").get().is_finite());
+        assert!(obs.gauge("control_window_demand_p95").get() > 0.0);
+        let storm = obs.gauge("control_window_revocation_storm").get();
+        assert!(storm == 0.0 || storm == 1.0);
+        spotcache_obs::export::validate_json(&tracer.chrome_trace_json()).unwrap();
     }
 
     #[test]

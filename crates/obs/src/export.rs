@@ -21,6 +21,10 @@ fn fmt_f64(v: f64) -> String {
         "NaN".to_string()
     } else if v.is_infinite() {
         if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == 0.0 {
+        // Negative zero renders as `-0`; normalize so snapshots diff
+        // cleanly (same policy as the JSON exporter).
+        "0".to_string()
     } else {
         format!("{v}")
     }
@@ -56,7 +60,7 @@ pub fn prometheus_text(registry: &Registry) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -74,12 +78,17 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// JSON has no NaN/Infinity; map them to null so the output stays valid.
+/// The gauge-value JSON policy: NaN/±Inf become `null` (JSON has no
+/// non-finite numbers) and negative zero is normalized to `0` (`-0` is
+/// technically valid JSON but round-trips as a surprise — see
+/// `control_hot_on_spot_frac` in early BENCH_obs snapshots).
 fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
+    if !v.is_finite() {
         "null".to_string()
+    } else if v == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v}")
     }
 }
 
@@ -407,10 +416,28 @@ mod tests {
     fn json_guards_non_finite_gauges() {
         let r = Registry::new();
         r.gauge("bad").set(f64::NAN);
+        r.gauge("hi").set(f64::INFINITY);
+        r.gauge("lo").set(f64::NEG_INFINITY);
         let j = Journal::new();
         let json = json_snapshot(&r, &j);
-        validate_json(&json).expect("NaN must not leak into JSON");
+        validate_json(&json).expect("NaN/Inf must not leak into JSON");
         assert!(json.contains("\"bad\":null"));
+        assert!(json.contains("\"hi\":null"));
+        assert!(json.contains("\"lo\":null"));
+    }
+
+    #[test]
+    fn negative_zero_gauges_normalize_to_zero() {
+        let r = Registry::new();
+        // The classic producer of -0: a negated zero-valued fraction.
+        r.gauge("frac").set(-0.0);
+        let j = Journal::new();
+        let json = json_snapshot(&r, &j);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"frac\":0"), "got {json}");
+        assert!(!json.contains("-0"), "negative zero leaked: {json}");
+        let prom = prometheus_text(&r);
+        assert!(prom.contains("frac 0\n"), "got {prom}");
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! Observability layer for spotcache: metrics registry, bounded event
-//! journal, and Prometheus/JSON snapshot exporters.
+//! journal, sampled span tracing, windowed telemetry, and Prometheus/JSON
+//! snapshot exporters.
 //!
-//! The crate has three parts:
+//! The crate has five parts:
 //!
 //! * [`Registry`] — named [`Counter`]/[`Gauge`]/[`Histogram`] series with
 //!   lock-free recording and name-ordered (deterministic) enumeration.
 //! * [`Journal`] — a bounded ring of structured [`Event`]s
 //!   ([`EventKind`]: bids, revocations, node launches, warm-up progress,
 //!   bucket throttles, cache ops) with drop-oldest overflow.
+//! * [`trace`] — sampled spans ([`Tracer`]/[`SpanGuard`]) collected into
+//!   a bounded lock-free buffer and exported as Chrome trace-event JSON
+//!   (Perfetto-loadable); near-zero cost and provably allocation-free on
+//!   the cache read path when sampling is off.
+//! * [`timeseries`] — fixed-size sliding windows over counters/gauges
+//!   ([`SlidingWindow`]), ζ burn-rate accounting ([`SloWindow`]), and a
+//!   windowed revocation-storm detector ([`StormDetector`]).
 //! * [`export`] — Prometheus text exposition and a single-document JSON
 //!   snapshot, plus a small JSON validator for smoke tests.
 //!
@@ -30,9 +38,13 @@ mod journal;
 mod registry;
 
 pub mod export;
+pub mod timeseries;
+pub mod trace;
 
 pub use journal::{Event, EventKind, Journal, DEFAULT_JOURNAL_CAPACITY};
 pub use registry::{Counter, Gauge, Histogram, Metric, Registry};
+pub use timeseries::{SlidingWindow, SloWindow, StormDetector, WindowStats};
+pub use trace::{SpanGuard, SpanRecord, TraceConfig, Tracer, DEFAULT_TRACE_CAPACITY};
 
 /// The bundle an instrumented layer holds: one registry + one journal.
 #[derive(Default)]

@@ -187,6 +187,12 @@ impl Histogram {
     }
 
     /// The `q`-quantile; 0 when empty.
+    ///
+    /// Clamped to [`Self::max`]: a log bucket's representative value is
+    /// its upper bound, which can exceed the largest observation (e.g.
+    /// p95 = 4.09 reported against max = 4.03), and quantiles above the
+    /// true maximum are nonsense. The clamp also guarantees
+    /// `quantile(a) ≤ quantile(b) ≤ max()` for `a ≤ b`.
     pub fn quantile(&self, q: f64) -> f64 {
         let n = self.count();
         if n == 0 {
@@ -197,10 +203,10 @@ impl Histogram {
         for (i, b) in self.0.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return bucket_value(i);
+                return bucket_value(i).min(self.max());
             }
         }
-        bucket_value(HIST_BUCKETS - 1)
+        bucket_value(HIST_BUCKETS - 1).min(self.max())
     }
 }
 
@@ -340,6 +346,49 @@ mod tests {
         h.record(-1.0);
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_never_exceed_observed_max() {
+        // The BENCH_obs regression: log-bucket upper bounds put p95 above
+        // the true maximum (p95 4.0897 > max 4.029 for cache_op_latency_us).
+        let h = Histogram::new();
+        for _ in 0..95 {
+            h.record(1.0);
+        }
+        for _ in 0..5 {
+            h.record(4.029);
+        }
+        assert!(h.quantile(0.95) <= h.max());
+        assert!(h.quantile(0.99) <= h.max());
+        assert_eq!(h.max(), 4.029);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig { cases: 64, ..Default::default() })]
+
+        /// Quantiles are monotone in q and bounded by the observed max
+        /// for arbitrary inputs: p50 ≤ p95 ≤ p99 ≤ max.
+        #[test]
+        fn quantile_monotone_and_bounded(
+            values in proptest::collection::vec(0.0f64..1e8, 1..200),
+        ) {
+            use proptest::prelude::*;
+            let h = Histogram::new();
+            let mut true_max = 0.0f64;
+            for &v in &values {
+                h.record(v);
+                true_max = true_max.max(v);
+            }
+            let p50 = h.quantile(0.5);
+            let p95 = h.quantile(0.95);
+            let p99 = h.quantile(0.99);
+            let max = h.max();
+            prop_assert_eq!(max, true_max);
+            prop_assert!(p50 <= p95, "p50 {} > p95 {}", p50, p95);
+            prop_assert!(p95 <= p99, "p95 {} > p99 {}", p95, p99);
+            prop_assert!(p99 <= max, "p99 {} > max {}", p99, max);
+        }
     }
 
     #[test]

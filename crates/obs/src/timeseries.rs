@@ -1,0 +1,478 @@
+//! Windowed time-series telemetry: sliding windows, ζ burn rate, and a
+//! revocation-storm detector.
+//!
+//! PR 2's registry exports *instantaneous* values; the paper's claims are
+//! trajectories — the availability constraint ζ (§3.2) holds or fails
+//! over a billing period, and spot auto-scaling systems react to
+//! *windowed* signals (revocation storms, demand ramps), not point
+//! samples. This module adds the windowed layer:
+//!
+//! * [`SlidingWindow`] — a fixed-size ring of `(t, value)` samples with
+//!   O(window) aggregates: mean, min/max, quantiles, and the sliding
+//!   **rate** of a cumulative counter.
+//! * [`SloWindow`] — per-slot good/bad accounting against an availability
+//!   target ζ; [`SloWindow::burn_rate`] is the observed bad fraction
+//!   divided by the allowed bad fraction `1 − ζ` (1.0 = exactly on
+//!   budget, >1 = burning error budget too fast — the Google SRE
+//!   burn-rate convention).
+//! * [`StormDetector`] — a windowed revocation counter with a threshold:
+//!   `count(window) ≥ threshold` flags a revocation storm, the early
+//!   signal fault-tolerance-free spot provisioning needs.
+//!
+//! Everything here is plain sequential state guarded by one mutex per
+//! structure: windows are fed from control-loop cadence code (per-slot,
+//! per-second), never from the cache hot path.
+//!
+//! Export: [`window_stats_json`] renders any set of windows as one JSON
+//! document (validated by [`crate::export::validate_json`]), and
+//! [`window_stats_prometheus`] as Prometheus text; both enumerate windows
+//! in name order so snapshots are deterministic.
+
+use std::fmt::Write as _;
+
+use parking_lot::Mutex;
+
+/// Aggregates of one window at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Samples currently retained.
+    pub len: usize,
+    /// Mean of retained values (0 when empty).
+    pub mean: f64,
+    /// Smallest retained value (0 when empty).
+    pub min: f64,
+    /// Largest retained value (0 when empty).
+    pub max: f64,
+    /// Median of retained values (0 when empty).
+    pub p50: f64,
+    /// 95th percentile of retained values (0 when empty).
+    pub p95: f64,
+    /// Sliding rate: `(v_last − v_first) / (t_last − t_first)`, the
+    /// per-second rate of a cumulative counter over the window (0 when
+    /// fewer than two samples or no time elapsed).
+    pub rate: f64,
+}
+
+impl WindowStats {
+    fn empty() -> Self {
+        Self {
+            len: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            rate: 0.0,
+        }
+    }
+}
+
+struct WindowInner {
+    /// `(t_secs, value)`, oldest first.
+    samples: std::collections::VecDeque<(u64, f64)>,
+}
+
+/// A fixed-size sliding window of timestamped samples.
+///
+/// Feed it gauge readings to get windowed quantiles, or cumulative
+/// counter readings to get a sliding rate; timestamps are the caller's
+/// logical clock (slot/step seconds), so windowed telemetry from
+/// deterministic replays is itself deterministic.
+pub struct SlidingWindow {
+    inner: Mutex<WindowInner>,
+    capacity: usize,
+}
+
+impl SlidingWindow {
+    /// A window retaining the most recent `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(WindowInner {
+                samples: std::collections::VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest past capacity. Non-finite
+    /// values are ignored (the policy NaN/Inf gauges follow in JSON
+    /// export: they must never poison window aggregates).
+    pub fn observe(&self, t: u64, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let mut w = self.inner.lock();
+        if w.samples.len() == self.capacity {
+            w.samples.pop_front();
+        }
+        w.samples.push_back((t, v));
+    }
+
+    /// Retained sample count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// All aggregates in one pass.
+    pub fn stats(&self) -> WindowStats {
+        let w = self.inner.lock();
+        if w.samples.is_empty() {
+            return WindowStats::empty();
+        }
+        let mut values: Vec<f64> = w.samples.iter().map(|&(_, v)| v).collect();
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = values.len();
+        let q = |q: f64| values[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
+        let (t0, v0) = *w.samples.front().expect("non-empty");
+        let (t1, v1) = *w.samples.back().expect("non-empty");
+        let rate = if t1 > t0 {
+            (v1 - v0) / (t1 - t0) as f64
+        } else {
+            0.0
+        };
+        WindowStats {
+            len: n,
+            mean: values.iter().sum::<f64>() / n as f64,
+            min: values[0],
+            max: values[n - 1],
+            p50: q(0.5),
+            p95: q(0.95),
+            rate,
+        }
+    }
+}
+
+/// Per-slot SLO accounting against an availability target ζ.
+pub struct SloWindow {
+    /// Required good fraction, e.g. the paper's ζ availability floor.
+    target: f64,
+    /// Ring of per-slot outcomes (`true` = slot met the SLO).
+    outcomes: Mutex<std::collections::VecDeque<bool>>,
+    capacity: usize,
+}
+
+impl SloWindow {
+    /// A window of `capacity` slots against availability target
+    /// `target` (clamped to `[0, 1)`... exactly-1 targets allow zero
+    /// error budget; burn rate then saturates, see [`Self::burn_rate`]).
+    pub fn new(target: f64, capacity: usize) -> Self {
+        Self {
+            target: target.clamp(0.0, 1.0),
+            outcomes: Mutex::new(std::collections::VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured target.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Records one slot's outcome.
+    pub fn record(&self, ok: bool) {
+        let mut o = self.outcomes.lock();
+        if o.len() == self.capacity {
+            o.pop_front();
+        }
+        o.push_back(ok);
+    }
+
+    /// Fraction of windowed slots that failed the SLO (0 when empty).
+    pub fn bad_frac(&self) -> f64 {
+        let o = self.outcomes.lock();
+        if o.is_empty() {
+            return 0.0;
+        }
+        o.iter().filter(|&&ok| !ok).count() as f64 / o.len() as f64
+    }
+
+    /// Burn rate: observed bad fraction over the allowed bad fraction
+    /// `1 − ζ`. 0 = clean window, 1 = exactly on budget, >1 = burning
+    /// too fast. A zero error budget (ζ = 1) with any failure saturates
+    /// to [`f64::MAX`] rather than dividing by zero.
+    pub fn burn_rate(&self) -> f64 {
+        let bad = self.bad_frac();
+        let budget = 1.0 - self.target;
+        if budget <= 0.0 {
+            return if bad > 0.0 { f64::MAX } else { 0.0 };
+        }
+        bad / budget
+    }
+
+    /// Windowed slot count.
+    pub fn len(&self) -> usize {
+        self.outcomes.lock().len()
+    }
+
+    /// Whether no slots are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Windowed revocation counting with a storm threshold.
+///
+/// Auto-scaling over spot markets must distinguish a stray revocation
+/// from a *storm* (a price spike clearing a whole market): the detector
+/// keeps `(t, count)` revocation batches and flags a storm while the
+/// total revoked within the trailing `window_secs` reaches `threshold`.
+pub struct StormDetector {
+    window_secs: u64,
+    threshold: u64,
+    batches: Mutex<std::collections::VecDeque<(u64, u64)>>,
+}
+
+impl StormDetector {
+    /// A detector flagging `threshold`+ revocations within any trailing
+    /// `window_secs`.
+    pub fn new(window_secs: u64, threshold: u64) -> Self {
+        Self {
+            window_secs: window_secs.max(1),
+            threshold: threshold.max(1),
+            batches: Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Records `count` revocations at logical time `t`.
+    pub fn record(&self, t: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut b = self.batches.lock();
+        b.push_back((t, count));
+        Self::evict(&mut b, t, self.window_secs);
+    }
+
+    fn evict(b: &mut std::collections::VecDeque<(u64, u64)>, now: u64, window: u64) {
+        let cutoff = now.saturating_sub(window);
+        while b.front().is_some_and(|&(t, _)| t < cutoff) {
+            b.pop_front();
+        }
+    }
+
+    /// Revocations within the trailing window ending at `now`.
+    pub fn windowed_count(&self, now: u64) -> u64 {
+        let mut b = self.batches.lock();
+        Self::evict(&mut b, now, self.window_secs);
+        b.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Revocations per second over the trailing window.
+    pub fn rate(&self, now: u64) -> f64 {
+        self.windowed_count(now) as f64 / self.window_secs as f64
+    }
+
+    /// Whether the trailing window is at or past the storm threshold.
+    pub fn is_storm(&self, now: u64) -> bool {
+        self.windowed_count(now) >= self.threshold
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// The configured window length, seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+}
+
+fn fmt_json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // Same policy as gauge export: JSON has no NaN/Inf.
+        return "null".to_string();
+    }
+    // Normalize negative zero: `-0` is valid JSON but gratuitously odd in
+    // snapshots (and breaks naive string diffs against `0`).
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    format!("{v}")
+}
+
+/// Renders named windows as one JSON document:
+/// `{"<name>":{"len":N,"mean":..,"min":..,"max":..,"p50":..,"p95":..,"rate":..},...}`
+/// in name order. Always passes [`crate::export::validate_json`].
+pub fn window_stats_json(windows: &[(&str, &SlidingWindow)]) -> String {
+    let mut named: Vec<(&str, WindowStats)> =
+        windows.iter().map(|(n, w)| (*n, w.stats())).collect();
+    named.sort_by_key(|&(n, _)| n);
+    let mut out = String::from("{");
+    for (i, (name, s)) in named.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"len\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"rate\":{}}}",
+            crate::export::json_escape(name),
+            s.len,
+            fmt_json_f64(s.mean),
+            fmt_json_f64(s.min),
+            fmt_json_f64(s.max),
+            fmt_json_f64(s.p50),
+            fmt_json_f64(s.p95),
+            fmt_json_f64(s.rate),
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Renders named windows as Prometheus text: one gauge per aggregate,
+/// `<name>_window_{mean,min,max,p50,p95,rate,len}`, in name order.
+pub fn window_stats_prometheus(windows: &[(&str, &SlidingWindow)]) -> String {
+    let mut named: Vec<(&str, WindowStats)> =
+        windows.iter().map(|(n, w)| (*n, w.stats())).collect();
+    named.sort_by_key(|&(n, _)| n);
+    let mut out = String::new();
+    for (name, s) in named {
+        for (suffix, v) in [
+            ("len", s.len as f64),
+            ("mean", s.mean),
+            ("min", s.min),
+            ("max", s.max),
+            ("p50", s.p50),
+            ("p95", s.p95),
+            ("rate", s.rate),
+        ] {
+            let _ = writeln!(out, "# TYPE {name}_window_{suffix} gauge");
+            let _ = writeln!(out, "{name}_window_{suffix} {v}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_json;
+
+    #[test]
+    fn sliding_window_aggregates() {
+        let w = SlidingWindow::new(8);
+        for t in 0..8u64 {
+            w.observe(t, (t + 1) as f64);
+        }
+        let s = w.stats();
+        assert_eq!(s.len, 8);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 8.0);
+        assert!((s.mean - 4.5).abs() < 1e-12);
+        assert_eq!(s.p50, 4.0);
+        assert_eq!(s.p95, 8.0);
+        // Cumulative interpretation: 1→8 over 7 seconds.
+        assert!((s.rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let w = SlidingWindow::new(4);
+        for t in 0..10u64 {
+            w.observe(t, t as f64);
+        }
+        let s = w.stats();
+        assert_eq!(s.len, 4);
+        assert_eq!(s.min, 6.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn window_ignores_non_finite_and_handles_empty() {
+        let w = SlidingWindow::new(4);
+        assert_eq!(w.stats(), WindowStats::empty());
+        w.observe(0, f64::NAN);
+        w.observe(1, f64::INFINITY);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn sliding_rate_of_cumulative_counter() {
+        let w = SlidingWindow::new(16);
+        // A counter advancing 50/step at 10-second steps: rate 5/s.
+        for i in 0..10u64 {
+            w.observe(i * 10, (i * 50) as f64);
+        }
+        assert!((w.stats().rate - 5.0).abs() < 1e-12);
+        // Single sample or zero elapsed: no rate.
+        let one = SlidingWindow::new(4);
+        one.observe(5, 100.0);
+        assert_eq!(one.stats().rate, 0.0);
+        one.observe(5, 200.0);
+        assert_eq!(one.stats().rate, 0.0);
+    }
+
+    #[test]
+    fn burn_rate_against_zeta() {
+        // ζ = 0.9 → 10% error budget.
+        let slo = SloWindow::new(0.9, 10);
+        for _ in 0..9 {
+            slo.record(true);
+        }
+        slo.record(false);
+        // 1 bad in 10 = exactly the budget.
+        assert!((slo.burn_rate() - 1.0).abs() < 1e-12);
+        slo.record(false); // evicts a good slot: 2 bad in 10
+        assert!((slo.burn_rate() - 2.0).abs() < 1e-12);
+        assert!((slo.bad_frac() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burn_rate_zero_budget_saturates() {
+        let slo = SloWindow::new(1.0, 4);
+        slo.record(true);
+        assert_eq!(slo.burn_rate(), 0.0);
+        slo.record(false);
+        assert_eq!(slo.burn_rate(), f64::MAX);
+    }
+
+    #[test]
+    fn storm_detector_flags_bursts_and_recovers() {
+        let d = StormDetector::new(120, 5);
+        d.record(0, 2);
+        assert!(!d.is_storm(0));
+        d.record(60, 3);
+        assert!(d.is_storm(60), "5 revocations within 120s");
+        assert!((d.rate(60) - 5.0 / 120.0).abs() < 1e-12);
+        // 200s later the early batches age out.
+        assert_eq!(d.windowed_count(260), 0);
+        assert!(!d.is_storm(260));
+    }
+
+    #[test]
+    fn storm_detector_ignores_empty_batches() {
+        let d = StormDetector::new(60, 1);
+        d.record(10, 0);
+        assert_eq!(d.windowed_count(10), 0);
+    }
+
+    #[test]
+    fn window_export_is_valid_and_name_ordered() {
+        let a = SlidingWindow::new(4);
+        let b = SlidingWindow::new(4);
+        a.observe(0, 1.0);
+        a.observe(1, 3.0);
+        b.observe(0, -0.0); // negative zero must export as 0
+        let json = window_stats_json(&[("zz_cost", &a), ("aa_demand", &b)]);
+        validate_json(&json).unwrap_or_else(|at| panic!("invalid at {at}: {json}"));
+        assert!(
+            json.find("aa_demand").unwrap() < json.find("zz_cost").unwrap(),
+            "name order: {json}"
+        );
+        assert!(json.contains("\"min\":0,"), "-0 normalized: {json}");
+        let prom = window_stats_prometheus(&[("zz_cost", &a), ("aa_demand", &b)]);
+        assert!(prom.contains("zz_cost_window_mean 2"));
+        assert!(prom.contains("aa_demand_window_len 1"));
+    }
+}

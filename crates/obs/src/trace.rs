@@ -1,0 +1,511 @@
+//! Low-overhead sampled span tracing with a Chrome trace-event exporter.
+//!
+//! A [`Tracer`] collects **spans** — named, categorized time intervals —
+//! from every instrumented layer into one bounded lock-free buffer, and
+//! renders them as Chrome trace-event JSON (the `[{"ph":"X",...}]` array
+//! format) loadable in `chrome://tracing` or Perfetto.
+//!
+//! Design constraints, in priority order:
+//!
+//! * **Near-zero cost when disabled.** [`Tracer::span`] on a tracer whose
+//!   sampling is off is one relaxed atomic load and returns an inert
+//!   guard; no allocation, no branch on the hot path beyond the flag
+//!   check. The cache read path keeps its zero-allocation guarantee with
+//!   tracing compiled in (see `tests/zero_alloc.rs` in `spotcache-cache`).
+//! * **Lock-free recording.** The buffer is a fixed array of slots; a
+//!   writer reserves an index with one `fetch_add` and owns that slot
+//!   outright, publishing it with a per-slot ready flag. When the buffer
+//!   is full, new spans are counted as dropped rather than blocking.
+//! * **No allocation per span.** Span names and categories are
+//!   `&'static str`; timestamps are `f64` microseconds. A [`SpanRecord`]
+//!   is `Copy`.
+//! * **Sampling is per-tree.** The 1-in-N decision is taken at the root
+//!   span of each thread's span stack; child spans follow their root's
+//!   decision, so a sampled request is traced whole or not at all.
+//!
+//! # Clocks
+//!
+//! Wall-time layers (the cache data plane) open RAII spans with
+//! [`Tracer::span`]: `ts`/`dur` are microseconds since the tracer was
+//! created, measured with a monotonic clock. Logical-time layers (the
+//! control loop, the recovery simulation) record **complete** spans with
+//! [`Tracer::record_at`], supplying their own logical timestamp — so a
+//! deterministic replay produces a deterministic trace. The two kinds
+//! coexist in one buffer; exports label each span's category so mixed
+//! timelines stay interpretable.
+
+use std::cell::Cell;
+use std::cell::UnsafeCell;
+use std::fmt::Write as _;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default span-buffer capacity.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One completed span. `Copy` so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Category (the instrumented layer, e.g. `"protocol"`, `"server"`,
+    /// `"control"`, `"recovery"`).
+    pub cat: &'static str,
+    /// Span name (e.g. `"parse"`, `"replan"`).
+    pub name: &'static str,
+    /// Start timestamp, microseconds (tracer-relative wall time for RAII
+    /// spans; caller-supplied logical time for [`Tracer::record_at`]).
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Track id: small per-thread integer for RAII spans, caller-chosen
+    /// for logical spans.
+    pub tid: u32,
+    /// Nesting depth within its thread's span stack (0 = root).
+    pub depth: u32,
+}
+
+/// Tuning for a [`Tracer`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Maximum retained spans; further spans are counted as dropped.
+    pub capacity: usize,
+    /// Sample 1 in `sample_every` span trees; `0` disables tracing
+    /// entirely and `1` traces everything.
+    pub sample_every: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            capacity: DEFAULT_TRACE_CAPACITY,
+            sample_every: 1,
+        }
+    }
+}
+
+/// A buffer slot: an index reserved via `fetch_add` is owned exclusively
+/// by the reserving thread, which writes the record then publishes it by
+/// storing `ready = true` with release ordering.
+struct Slot {
+    ready: AtomicBool,
+    record: UnsafeCell<MaybeUninit<SpanRecord>>,
+}
+
+// SAFETY: a slot's `record` is written only by the single thread that
+// reserved its index (unique `fetch_add` ticket) and read only after
+// `ready` is observed `true` with acquire ordering, which happens-after
+// the release store that published the write.
+unsafe impl Sync for Slot {}
+
+thread_local! {
+    /// Depth of the current thread's span stack (RAII spans only).
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Whether the current span tree was sampled (valid when depth > 0).
+    static TREE_SAMPLED: Cell<bool> = const { Cell::new(false) };
+    /// Small per-thread track id, assigned on first use.
+    static TRACK_ID: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+static NEXT_TRACK_ID: AtomicU64 = AtomicU64::new(1);
+
+fn track_id() -> u32 {
+    TRACK_ID.with(|t| {
+        let cur = t.get();
+        if cur != u32::MAX {
+            return cur;
+        }
+        let id = NEXT_TRACK_ID.fetch_add(1, Ordering::Relaxed) as u32;
+        t.set(id);
+        id
+    })
+}
+
+/// The span collector.
+pub struct Tracer {
+    slots: Box<[Slot]>,
+    cursor: AtomicUsize,
+    dropped: AtomicU64,
+    /// `sample_every == 0` ⇒ disabled; cached as a bool for the hot path.
+    enabled: AtomicBool,
+    sample_every: u64,
+    sample_counter: AtomicU64,
+    origin: Instant,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.slots.len())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .field("sample_every", &self.sample_every)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer with the given buffer capacity and sampling rate.
+    pub fn new(cfg: TraceConfig) -> Arc<Self> {
+        let capacity = cfg.capacity.max(1);
+        Arc::new(Self {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    ready: AtomicBool::new(false),
+                    record: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            cursor: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            enabled: AtomicBool::new(cfg.sample_every > 0),
+            sample_every: cfg.sample_every.max(1),
+            sample_counter: AtomicU64::new(0),
+            origin: Instant::now(),
+        })
+    }
+
+    /// A tracer that records every span (sampling 1-in-1).
+    pub fn all(capacity: usize) -> Arc<Self> {
+        Self::new(TraceConfig {
+            capacity,
+            sample_every: 1,
+        })
+    }
+
+    /// A compiled-in but switched-off tracer: every [`span`](Self::span)
+    /// call is one atomic load and an inert guard.
+    pub fn disabled() -> Arc<Self> {
+        Self::new(TraceConfig {
+            capacity: 1,
+            sample_every: 0,
+        })
+    }
+
+    /// Whether any recording can happen.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on/off at runtime (sampling rate is fixed at
+    /// construction).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Opens a wall-clock RAII span. The returned guard records the span
+    /// when dropped. Sampling is decided at the root of each thread's
+    /// span stack; nested calls inherit the decision.
+    #[inline]
+    pub fn span<'a>(&'a self, cat: &'static str, name: &'static str) -> SpanGuard<'a> {
+        if !self.is_enabled() {
+            return SpanGuard { active: None };
+        }
+        self.span_slow(cat, name)
+    }
+
+    #[inline(never)]
+    fn span_slow<'a>(&'a self, cat: &'static str, name: &'static str) -> SpanGuard<'a> {
+        let depth = SPAN_DEPTH.with(Cell::get);
+        let sampled = if depth == 0 {
+            let n = self.sample_counter.fetch_add(1, Ordering::Relaxed);
+            let s = n.is_multiple_of(self.sample_every);
+            TREE_SAMPLED.with(|t| t.set(s));
+            s
+        } else {
+            TREE_SAMPLED.with(Cell::get)
+        };
+        // Depth tracks even unsampled frames so a child opened under an
+        // unsampled root still inherits "unsampled" rather than making a
+        // fresh root decision.
+        SPAN_DEPTH.with(|d| d.set(depth + 1));
+        if !sampled {
+            return SpanGuard {
+                active: Some(ActiveSpan {
+                    tracer: self,
+                    cat,
+                    name,
+                    depth,
+                    start: None,
+                }),
+            };
+        }
+        SpanGuard {
+            active: Some(ActiveSpan {
+                tracer: self,
+                cat,
+                name,
+                depth,
+                start: Some(Instant::now()),
+            }),
+        }
+    }
+
+    /// Records a complete span with a caller-supplied (logical) timestamp
+    /// and duration, both in microseconds. Bypasses sampling — logical
+    /// layers emit few, coarse spans and want them all.
+    pub fn record_at(&self, cat: &'static str, name: &'static str, ts_us: f64, dur_us: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(SpanRecord {
+            cat,
+            name,
+            ts_us,
+            dur_us,
+            tid: 0,
+            depth: 0,
+        });
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if idx >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[idx];
+        // SAFETY: `idx` was reserved exclusively by this thread's
+        // `fetch_add`; nothing reads the cell until `ready` is true.
+        unsafe { (*slot.record.get()).write(record) };
+        slot.ready.store(true, Ordering::Release);
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since this tracer was created (the RAII spans' time
+    /// base), for callers that want to place logical spans alongside.
+    pub fn now_us(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Snapshot of every published span, in reservation order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for slot in self.slots.iter().take(n) {
+            if slot.ready.load(Ordering::Acquire) {
+                // SAFETY: `ready == true` (acquire) happens-after the
+                // publishing release store, and slots are never rewritten.
+                out.push(unsafe { (*slot.record.get()).assume_init() });
+            }
+        }
+        out
+    }
+
+    /// Renders every span as a Chrome trace-event JSON array of complete
+    /// (`"ph":"X"`) events — loadable in `chrome://tracing` or Perfetto.
+    /// Output always passes [`crate::export::validate_json`].
+    pub fn chrome_trace_json(&self) -> String {
+        let spans = self.spans();
+        let mut out = String::with_capacity(spans.len() * 96 + 2);
+        out.push('[');
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"depth\":{}}}}}",
+                s.name,
+                s.cat,
+                finite(s.ts_us),
+                finite(s.dur_us),
+                s.tid,
+                s.depth,
+            );
+        }
+        out.push(']');
+        out
+    }
+
+    /// Distinct categories present in the buffer, sorted (the layer
+    /// coverage check used by CI and the trace smoke tests).
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut cats: Vec<&'static str> = self.spans().iter().map(|s| s.cat).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        cats
+    }
+}
+
+/// Non-finite microsecond values would corrupt the JSON; clamp to 0.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+struct ActiveSpan<'a> {
+    tracer: &'a Tracer,
+    cat: &'static str,
+    name: &'static str,
+    depth: u32,
+    /// `None` for an unsampled frame (depth bookkeeping only).
+    start: Option<Instant>,
+}
+
+/// RAII guard: records its span (if sampled) when dropped.
+pub struct SpanGuard<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let Some(start) = a.start else { return };
+        let end = a.tracer.origin.elapsed().as_secs_f64() * 1e6;
+        let dur = start.elapsed().as_secs_f64() * 1e6;
+        a.tracer.push(SpanRecord {
+            cat: a.cat,
+            name: a.name,
+            ts_us: end - dur,
+            dur_us: dur,
+            tid: track_id(),
+            depth: a.depth,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_json;
+
+    #[test]
+    fn spans_nest_and_export_valid_chrome_json() {
+        let t = Tracer::all(128);
+        {
+            let _root = t.span("proto", "serve");
+            {
+                let _child = t.span("proto", "parse");
+            }
+            let _child2 = t.span("proto", "store");
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        // Children drop before the root: parse, store, serve.
+        assert_eq!(spans[0].name, "parse");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[2].name, "serve");
+        assert_eq!(spans[2].depth, 0);
+        let json = t.chrome_trace_json();
+        validate_json(&json).unwrap_or_else(|at| panic!("invalid trace JSON at {at}: {json}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"serve\""));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _s = t.span("proto", "serve");
+            let _c = t.span("proto", "parse");
+        }
+        t.record_at("control", "replan", 0.0, 10.0);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.chrome_trace_json(), "[]");
+    }
+
+    #[test]
+    fn sampling_decision_is_per_tree() {
+        let t = Tracer::new(TraceConfig {
+            capacity: 1024,
+            sample_every: 2,
+        });
+        for _ in 0..10 {
+            let _root = t.span("proto", "serve");
+            let _child = t.span("proto", "parse");
+        }
+        // 1-in-2 trees sampled, 2 spans per sampled tree.
+        assert_eq!(t.len(), 10);
+        let spans = t.spans();
+        // Every sampled tree is whole: equal numbers of roots and children.
+        let roots = spans.iter().filter(|s| s.depth == 0).count();
+        let children = spans.iter().filter(|s| s.depth == 1).count();
+        assert_eq!(roots, 5);
+        assert_eq!(children, 5);
+    }
+
+    #[test]
+    fn buffer_bounds_and_drop_count() {
+        let t = Tracer::all(4);
+        for _ in 0..10 {
+            let _s = t.span("x", "y");
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        validate_json(&t.chrome_trace_json()).unwrap();
+    }
+
+    #[test]
+    fn logical_spans_keep_caller_timestamps() {
+        let t = Tracer::all(16);
+        t.record_at("control", "replan", 3_600e6, 250.0);
+        t.record_at("recovery", "warmup_pump", 30e6, 1e6);
+        let spans = t.spans();
+        assert_eq!(spans[0].ts_us, 3_600e6);
+        assert_eq!(spans[0].dur_us, 250.0);
+        assert_eq!(t.categories(), vec!["control", "recovery"]);
+        validate_json(&t.chrome_trace_json()).unwrap();
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_under_capacity() {
+        let t = Tracer::all(4096);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let _s = t.span("mt", "op");
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.dropped(), 0);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2000);
+        // Four distinct worker tracks.
+        let mut tids: Vec<u32> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn runtime_toggle() {
+        let t = Tracer::all(16);
+        t.set_enabled(false);
+        {
+            let _s = t.span("x", "off");
+        }
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        {
+            let _s = t.span("x", "on");
+        }
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -25,7 +25,7 @@ use rand::SeedableRng;
 
 use spotcache_cloud::burstable::{BucketObserver, BurstableState};
 use spotcache_cloud::catalog::InstanceType;
-use spotcache_obs::{EventKind, Obs};
+use spotcache_obs::{EventKind, Obs, Tracer};
 use spotcache_optimizer::latency::LatencyProfile;
 use spotcache_workload::zipf::PopularityModel;
 
@@ -273,6 +273,31 @@ pub fn simulate_recovery(cfg: &RecoveryConfig) -> RecoveryTimeline {
 /// bundle. Timestamps are the timeline's own seconds, so observed runs
 /// replay deterministically.
 pub fn simulate_recovery_observed(cfg: &RecoveryConfig, obs: Option<&Obs>) -> RecoveryTimeline {
+    simulate_recovery_traced(cfg, obs, None)
+}
+
+/// [`simulate_recovery_observed`] plus span tracing: each timeline second
+/// emits `recovery.*` spans for the phase that ran — the warm-up copy
+/// pump (`warmup_pump`), the idle token-bucket refill (`token_refill`),
+/// and the organic fill (`organic_fill`). Span timestamps are the
+/// timeline's **logical** seconds; durations are the wall time the phase
+/// computation took, so traces overlay cleanly on the control plane's
+/// slot clock without perturbing determinism.
+pub fn simulate_recovery_traced(
+    cfg: &RecoveryConfig,
+    obs: Option<&Obs>,
+    tracer: Option<&Tracer>,
+) -> RecoveryTimeline {
+    let trace_phase = |name: &'static str, t: u64, started: std::time::Instant| {
+        if let Some(tr) = tracer {
+            tr.record_at(
+                "recovery",
+                name,
+                t as f64 * 1e6,
+                started.elapsed().as_secs_f64() * 1e6,
+            );
+        }
+    };
     let observers = obs.map(|o| {
         (
             BucketObserver::new(o, "backup_cpu"),
@@ -330,6 +355,7 @@ pub fn simulate_recovery_observed(cfg: &RecoveryConfig, obs: Option<&Obs>) -> Re
 
         // Copy pump (only once R is up and a backup exists).
         let mut pump_items_per_sec = 0.0;
+        let phase_start = std::time::Instant::now();
         if r_ready && !hot.fully_copied() {
             match &cfg.backup {
                 BackupChoice::None => {}
@@ -372,12 +398,14 @@ pub fn simulate_recovery_observed(cfg: &RecoveryConfig, obs: Option<&Obs>) -> Re
                     hot.copy_step(pump_items_per_sec);
                 }
             }
+            trace_phase("warmup_pump", t, phase_start);
         } else if let Some(b) = burst.as_mut() {
             b.idle(1.0);
             if let Some((cpu_ob, net_ob)) = observers.as_ref() {
                 cpu_ob.sample_level(b.cpu.bucket());
                 net_ob.sample_level(b.net.bucket());
             }
+            trace_phase("token_refill", t, phase_start);
         }
 
         // Organic fill (needs R to be up to hold the refills) is throttled
@@ -401,11 +429,13 @@ pub fn simulate_recovery_observed(cfg: &RecoveryConfig, obs: Option<&Obs>) -> Re
             };
             // Backup-served hot reads install into R without touching the
             // back-end, so they fill at full rate.
+            let fill_start = std::time::Instant::now();
             hot.organic_step(
                 cfg.total_rate * if backup_serves { 1.0 } else { throttle },
                 1.0,
             );
             cold.organic_step(cfg.total_rate * throttle, 1.0);
+            trace_phase("organic_fill", t, fill_start);
         }
 
         let hot_warm = hot.warmed_mass();
@@ -662,6 +692,28 @@ mod tests {
                 prev = w;
             }
         }
+    }
+
+    #[test]
+    fn traced_recovery_emits_phase_spans_on_the_logical_clock() {
+        let tracer = Tracer::all(8_192);
+        let cfg = RecoveryConfig::figure11(BackupChoice::Instance(find_type("t2.medium").unwrap()));
+        let traced = simulate_recovery_traced(&cfg, None, Some(&tracer));
+        let plain = simulate_recovery(&cfg);
+        // Tracing never perturbs the simulation.
+        assert_eq!(traced.recovered_at, plain.recovered_at);
+        assert_eq!(tracer.categories(), vec!["recovery"]);
+        let names: std::collections::BTreeSet<&'static str> =
+            tracer.spans().iter().map(|r| r.name).collect();
+        for expect in ["warmup_pump", "token_refill", "organic_fill"] {
+            assert!(names.contains(expect), "missing {expect:?}: {names:?}");
+        }
+        // Timestamps are whole logical seconds within the horizon.
+        for s in tracer.spans() {
+            assert_eq!(s.ts_us % 1e6, 0.0);
+            assert!(s.ts_us < cfg.horizon_secs as f64 * 1e6);
+        }
+        spotcache_obs::export::validate_json(&tracer.chrome_trace_json()).unwrap();
     }
 
     #[test]
