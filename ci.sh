@@ -15,6 +15,9 @@ cargo clippy -- -D warnings
 echo "==> cargo clippy --workspace -- -D warnings (includes spotcache-obs)"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo doc --no-deps --workspace (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> obs snapshot smoke test"
 snap="$(mktemp /tmp/obs_snapshot.XXXXXX.json)"
 lg="$(mktemp /tmp/cache_loadgen.XXXXXX.json)"
@@ -52,6 +55,28 @@ cargo run --release -q -p spotcache-bench --bin cache_loadgen -- --smoke --out "
     --trace-out "$lgtr" | grep -q "loadgen OK"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$lgtr" 2>/dev/null \
     || { echo "loadgen trace is not valid JSON"; exit 1; }
+
+echo "==> revocation drill smoke test (live replication + warm-up + link faults)"
+dr="$(mktemp /tmp/revocation_drill.XXXXXX.json)"
+trap 'rm -f "$snap" "$lg" "$tr" "$lgtr" "$dr"' EXIT
+# The bin asserts the recovery ordering (warned <= warning window <
+# unwarned) and the link-fault healing itself; re-check the artifact's
+# schema and the headline invariants here so the gate does not rely on
+# the bin's asserts alone.
+cargo run --release -q -p spotcache-bench --bin revocation_drill -- --smoke --out "$dr" \
+    | grep -q "revocation drill OK"
+python3 - "$dr" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spotcache-drill-v1", doc.get("schema")
+for drill in ("with_warning", "no_warning"):
+    assert doc[drill]["recovery_windows"] is not None, f"{drill}: never recovered"
+assert doc["no_warning"]["recovery_s"] >= doc["with_warning"]["recovery_s"], \
+    "no-warning recovery should not beat with-warning recovery"
+for fault in ("sever", "stall", "corrupt"):
+    f = doc["link_faults"][fault]
+    assert f["link_errors"] > 0 and f["healed"], f"link fault {fault}: not observed/healed"
+PY
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,666 @@
+//! revocation_drill: fault-injected revocation drills between real cache
+//! servers (paper §3.3, Fig. 4).
+//!
+//! Stands up a primary / backup / replacement trio of in-process
+//! [`CacheServer`]s wired the way the paper wires spot nodes to their
+//! burstable backups: the primary's hot-key mutations replicate through a
+//! fault-injectable proxy into the backup, and on revocation a warm-up
+//! pump replays the backup's hot set into the replacement while a
+//! [`DegradedRouter`] serves stale-from-backup. The drill then:
+//!
+//! 1. runs a **with-warning** revocation — the 2-minute notice (time
+//!    scaled) lets the pump pre-warm the replacement before the kill —
+//!    and a **no-warning** revocation where warming starts cold, and
+//!    records both hit-rate recovery curves;
+//! 2. drives the replication link through the **failure matrix** (sever,
+//!    stall, corrupt) mid-traffic, asserting the link never panics,
+//!    surfaces every fault as `repl_*` counters and drill spans, and
+//!    converges once healed;
+//! 3. compares the measured no-warning recovery against the Fig. 4
+//!    [`WarmupModel`] prediction.
+//!
+//! Results land in `BENCH_drill.json` (checked in; see docs/RUNBOOK.md
+//! for the field guide). Flags: `--smoke` (scaled-down CI run), `--out
+//! PATH`, `--seed N`, `--trace-out PATH` (Chrome trace with `drill` /
+//! `replication` spans).
+//!
+//! Asserted invariants: steady-state mostly hits; the warned drill
+//! recovers ≥90% of the steady fresh hit rate within the (scaled)
+//! warning window; the unwarned drill is measurably slower; every
+//! injected link fault is observed and healed.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spotcache_bench::faults::{FaultMode, FaultProxy};
+use spotcache_bench::heading;
+use spotcache_cache::protocol::serve;
+use spotcache_cache::replication::{ReplicationConfig, ReplicationQueue, Replicator};
+use spotcache_cache::server::{CacheClient, CacheServer, LogicalClock};
+use spotcache_cache::store::{Store, StoreConfig};
+use spotcache_core::drill::{pump_hot_set, WarmupConfig, WarmupReport};
+use spotcache_obs::export::validate_json;
+use spotcache_obs::{Obs, Tracer, DEFAULT_TRACE_CAPACITY};
+use spotcache_router::degraded::{DegradedRouter, ServeTarget};
+use spotcache_sim::recovery::WarmupModel;
+use spotcache_workload::zipf::ScrambledZipfian;
+
+/// Hot-key prefix: only these replicate to the backup (paper §4.2 key
+/// partitioner marks hot keys `h`).
+const HOT_PREFIX: &[u8] = b"h";
+/// Zipf skew for the hot set (YCSB-style).
+const THETA: f64 = 0.99;
+/// Value payload length (CRLF-free filler).
+const VALUE_LEN: usize = 64;
+/// Fresh-hit recovery target, as a fraction of the steady-state rate.
+const RECOVERY_FRACTION: f64 = 0.9;
+
+struct Config {
+    smoke: bool,
+    out: String,
+    trace_out: Option<String>,
+    seed: u64,
+    hot_keys: u64,
+    ops_per_window: usize,
+    window: Duration,
+    steady_windows: usize,
+    warning_windows: usize,
+    observe_windows: usize,
+    pump: WarmupConfig,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut smoke = false;
+        let mut out = "BENCH_drill.json".to_string();
+        let mut trace_out = None;
+        let mut seed = 42u64;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => smoke = true,
+                "--out" => out = args.next().expect("--out needs a path"),
+                "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+                "--seed" => seed = args.next().expect("--seed needs a value").parse().unwrap(),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        // The 2-minute warning is time-scaled: full mode compresses 120 s
+        // to 2 s (60×), smoke to 0.6 s. The pump rate is chosen so an
+        // unwarned copy takes noticeably longer than one warning window
+        // but still completes inside the observation period.
+        if smoke {
+            Self {
+                smoke,
+                out,
+                trace_out,
+                seed,
+                hot_keys: 400,
+                ops_per_window: 150,
+                window: Duration::from_millis(50),
+                steady_windows: 6,
+                warning_windows: 12, // 0.6 s scaled warning
+                observe_windows: 40, // 2 s
+                pump: WarmupConfig {
+                    max_items: 1_000,
+                    base_rate: 600.0,
+                    peak_rate: 600.0,
+                    initial_credits: 0.0,
+                    ..WarmupConfig::default()
+                },
+            }
+        } else {
+            Self {
+                smoke,
+                out,
+                trace_out,
+                seed,
+                hot_keys: 2_000,
+                ops_per_window: 400,
+                window: Duration::from_millis(100),
+                steady_windows: 10,
+                warning_windows: 20, // 2 s scaled warning
+                observe_windows: 60, // 6 s
+                pump: WarmupConfig {
+                    max_items: 4_000,
+                    base_rate: 1_000.0,
+                    peak_rate: 1_000.0,
+                    initial_credits: 0.0,
+                    ..WarmupConfig::default()
+                },
+            }
+        }
+    }
+}
+
+/// Lazily-connected clients for the three drill targets.
+struct Targets {
+    addrs: [SocketAddr; 3],
+    conns: [Option<CacheClient>; 3],
+}
+
+impl Targets {
+    fn new(primary: SocketAddr, backup: SocketAddr, replacement: SocketAddr) -> Self {
+        Self {
+            addrs: [primary, backup, replacement],
+            conns: [None, None, None],
+        }
+    }
+
+    fn slot(t: ServeTarget) -> usize {
+        match t {
+            ServeTarget::Primary => 0,
+            ServeTarget::BackupStale => 1,
+            ServeTarget::Replacement => 2,
+        }
+    }
+
+    fn conn(&mut self, t: ServeTarget) -> Option<&mut CacheClient> {
+        let i = Self::slot(t);
+        if self.conns[i].is_none() {
+            self.conns[i] = CacheClient::connect(self.addrs[i]).ok();
+        }
+        self.conns[i].as_mut()
+    }
+
+    /// A get against one target; any error reads as a miss (and drops the
+    /// connection — a dead primary must not wedge the driver).
+    fn get(&mut self, t: ServeTarget, key: &str) -> Option<Vec<u8>> {
+        let i = Self::slot(t);
+        match self.conn(t).map(|c| c.get(key)) {
+            Some(Ok(v)) => v,
+            _ => {
+                self.conns[i] = None;
+                None
+            }
+        }
+    }
+
+    /// A set against one target; errors are dropped the same way.
+    fn set(&mut self, t: ServeTarget, key: &str, value: &[u8]) {
+        let i = Self::slot(t);
+        if self
+            .conn(t)
+            .map(|c| c.set(key, value, 0))
+            .is_none_or(|r| r.is_err())
+        {
+            self.conns[i] = None;
+        }
+    }
+}
+
+/// Per-window hit rates: `fresh` counts primary/replacement answers only;
+/// `served` adds stale-from-backup answers.
+#[derive(Clone, Copy)]
+struct WindowSample {
+    fresh: f64,
+    served: f64,
+}
+
+/// Drives one window of Zipf reads through the router's current plan,
+/// write-through-refilling misses at the router's write target.
+fn drive_window(
+    cfg: &Config,
+    router: &DegradedRouter,
+    targets: &mut Targets,
+    zipf: &ScrambledZipfian,
+    rng: &mut StdRng,
+    value: &str,
+) -> WindowSample {
+    let deadline = Instant::now() + cfg.window;
+    let mut fresh = 0usize;
+    let mut stale = 0usize;
+    for _ in 0..cfg.ops_per_window {
+        let key = format!("h{}", zipf.sample(rng));
+        let plan = router.read_plan();
+        if targets.get(plan.first, &key).is_some() {
+            router.note_served(Some(plan.first));
+            fresh += 1;
+            continue;
+        }
+        if let Some(fb) = plan.fallback {
+            if targets.get(fb, &key).is_some() {
+                router.note_served(Some(fb));
+                stale += 1;
+                continue;
+            }
+        }
+        // Miss everywhere: fetch from the (simulated) backend and refill
+        // the cache tier at the router's write target.
+        router.note_served(None);
+        targets.set(router.write_target(), &key, value.as_bytes());
+    }
+    if let Some(rest) = deadline.checked_duration_since(Instant::now()) {
+        std::thread::sleep(rest);
+    }
+    let n = cfg.ops_per_window as f64;
+    WindowSample {
+        fresh: fresh as f64 / n,
+        served: (fresh + stale) as f64 / n,
+    }
+}
+
+struct DrillResult {
+    steady_fresh: f64,
+    kill_window: usize,
+    samples: Vec<WindowSample>,
+    recovery_windows: Option<usize>,
+    pump: WarmupReport,
+    repl_shipped: u64,
+    repl_errors: u64,
+}
+
+impl DrillResult {
+    fn recovery_secs(&self, window: Duration) -> Option<f64> {
+        self.recovery_windows
+            .map(|w| w as f64 * window.as_secs_f64())
+    }
+}
+
+/// One full drill: prefill → replicate → steady state → (warning) → kill
+/// → warm-up → recovery, all against live servers.
+fn run_drill(cfg: &Config, warned: bool, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -> DrillResult {
+    let label = if warned { "with-warning" } else { "no-warning" };
+    heading(&format!("revocation drill: {label}"));
+
+    let store_cfg = StoreConfig {
+        capacity_bytes: 64 << 20,
+        shards: 8,
+    };
+    let primary = Arc::new(Store::new(store_cfg));
+    let backup = Arc::new(Store::new(store_cfg));
+    let replacement = Arc::new(Store::new(store_cfg));
+
+    let mut primary_srv =
+        CacheServer::start(Arc::clone(&primary), LogicalClock::new(), "127.0.0.1:0")
+            .expect("primary server");
+    let backup_srv = CacheServer::start(Arc::clone(&backup), LogicalClock::new(), "127.0.0.1:0")
+        .expect("backup server");
+    let replacement_srv =
+        CacheServer::start(Arc::clone(&replacement), LogicalClock::new(), "127.0.0.1:0")
+            .expect("replacement server");
+
+    // Replication primary → proxy → backup (the proxy stays in Forward
+    // mode here; the link-fault matrix is exercised separately).
+    let mut proxy = FaultProxy::start(backup_srv.addr()).expect("fault proxy");
+    let queue = ReplicationQueue::new(65_536, Some(HOT_PREFIX.to_vec()));
+    primary.set_mutation_sink(Some(queue.clone()));
+    let mut repl = Replicator::start(
+        proxy.addr(),
+        Arc::clone(&queue),
+        ReplicationConfig::default(),
+        Some(Arc::clone(obs)),
+        Some(Arc::clone(tracer)),
+    );
+
+    // Prefill the hot set through the protocol so every value carries the
+    // wire framing and every set replicates to the backup.
+    let value = "x".repeat(VALUE_LEN);
+    let mut prefill = Vec::new();
+    for k in 0..cfg.hot_keys {
+        prefill.extend_from_slice(format!("set h{k} 0 0 {VALUE_LEN}\r\n{value}\r\n").as_bytes());
+    }
+    let (_, consumed) = serve(&primary, &prefill, 0);
+    assert_eq!(consumed, prefill.len(), "prefill must parse cleanly");
+    assert!(
+        repl.flush(Duration::from_secs(30)),
+        "prefill replication must drain"
+    );
+    println!(
+        "prefilled {} hot keys; backup holds {} items",
+        cfg.hot_keys,
+        backup.snapshot().items
+    );
+
+    let router = DegradedRouter::new();
+    let mut targets = Targets::new(
+        primary_srv.addr(),
+        backup_srv.addr(),
+        replacement_srv.addr(),
+    );
+    let zipf = ScrambledZipfian::new(cfg.hot_keys, THETA);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ warned as u64);
+    let mut samples = Vec::new();
+
+    // Steady state.
+    for _ in 0..cfg.steady_windows {
+        samples.push(drive_window(
+            cfg,
+            &router,
+            &mut targets,
+            &zipf,
+            &mut rng,
+            &value,
+        ));
+    }
+    let steady_fresh =
+        samples.iter().map(|s| s.fresh).sum::<f64>() / cfg.steady_windows.max(1) as f64;
+    println!("steady-state fresh hit rate: {steady_fresh:.3}");
+
+    // The warm-up pump runs on its own thread; with a warning it starts
+    // the moment the notice lands, without one only after the kill.
+    let spawn_pump = |obs: Arc<Obs>, tracer: Arc<Tracer>| {
+        let backup = Arc::clone(&backup);
+        let addr = replacement_srv.addr();
+        let pump_cfg = cfg.pump.clone();
+        std::thread::spawn(move || {
+            pump_hot_set(&backup, addr, 0, &pump_cfg, Some(&obs), Some(&tracer)).expect("pump")
+        })
+    };
+    let mut pump_handle = None;
+
+    if warned {
+        tracer.record_at("drill", "warning", tracer.now_us(), 0.0);
+        router.on_warning();
+        // Drain in-flight replication inside the warning window, then
+        // start pre-warming the replacement.
+        assert!(repl.flush(Duration::from_secs(5)), "warning-window drain");
+        pump_handle = Some(spawn_pump(Arc::clone(obs), Arc::clone(tracer)));
+        for _ in 0..cfg.warning_windows {
+            samples.push(drive_window(
+                cfg,
+                &router,
+                &mut targets,
+                &zipf,
+                &mut rng,
+                &value,
+            ));
+        }
+    }
+
+    // The revocation: kill the primary's server threads mid-traffic.
+    tracer.record_at("drill", "kill", tracer.now_us(), 0.0);
+    primary_srv.stop();
+    router.on_revoked();
+    repl.stop(); // the source is gone; the stream dies with it
+    let kill_window = samples.len();
+    if pump_handle.is_none() {
+        pump_handle = Some(spawn_pump(Arc::clone(obs), Arc::clone(tracer)));
+    }
+
+    let mut pump_report = None;
+    for _ in 0..cfg.observe_windows {
+        samples.push(drive_window(
+            cfg,
+            &router,
+            &mut targets,
+            &zipf,
+            &mut rng,
+            &value,
+        ));
+        if pump_handle.as_ref().is_some_and(|h| h.is_finished()) {
+            pump_report = Some(pump_handle.take().unwrap().join().expect("pump thread"));
+            tracer.record_at("drill", "warmed", tracer.now_us(), 0.0);
+            router.on_warmed();
+        }
+    }
+    let pump_report = pump_report.unwrap_or_else(|| {
+        pump_handle
+            .take()
+            .expect("pump spawned")
+            .join()
+            .expect("pump thread")
+    });
+
+    // Recovery: first post-kill window whose fresh rate clears 90% of
+    // steady state (windows are 1-indexed so "recovered in the first
+    // window" still costs one window of degraded service).
+    let threshold = RECOVERY_FRACTION * steady_fresh;
+    let recovery_windows = samples[kill_window..]
+        .iter()
+        .position(|s| s.fresh >= threshold)
+        .map(|w| w + 1);
+    let stats = repl.stats();
+    println!(
+        "{label}: kill at window {kill_window}, recovery in {:?} windows \
+         (pump {} items in {:.2}s, {:.0} items/s)",
+        recovery_windows,
+        pump_report.items_pumped,
+        pump_report.elapsed.as_secs_f64(),
+        pump_report.achieved_rate
+    );
+
+    proxy.stop();
+    let counts = router.counts();
+    println!(
+        "served: {} primary, {} stale-from-backup, {} replacement, {} missed",
+        counts.primary, counts.backup_stale, counts.replacement, counts.missed
+    );
+
+    DrillResult {
+        steady_fresh,
+        kill_window,
+        samples,
+        recovery_windows,
+        pump: pump_report,
+        repl_shipped: stats.shipped,
+        repl_errors: stats.link_errors,
+    }
+}
+
+struct LinkFaultOutcome {
+    fault: &'static str,
+    errors_seen: u64,
+    healed: bool,
+}
+
+/// Drives the replication link through the failure matrix while writes
+/// flow, asserting each fault is observed and healed.
+fn run_link_faults(obs: &Arc<Obs>, tracer: &Arc<Tracer>) -> Vec<LinkFaultOutcome> {
+    heading("replication link-fault matrix");
+    let store_cfg = StoreConfig {
+        capacity_bytes: 16 << 20,
+        shards: 4,
+    };
+    let source = Arc::new(Store::new(store_cfg));
+    let backup = Arc::new(Store::new(store_cfg));
+    let backup_srv = CacheServer::start(Arc::clone(&backup), LogicalClock::new(), "127.0.0.1:0")
+        .expect("backup server");
+    let mut proxy = FaultProxy::start(backup_srv.addr()).expect("proxy");
+    let queue = ReplicationQueue::new(16_384, None);
+    source.set_mutation_sink(Some(queue.clone()));
+    let mut repl = Replicator::start(
+        proxy.addr(),
+        Arc::clone(&queue),
+        ReplicationConfig {
+            io_timeout: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(20),
+            max_batch_retries: 1_000, // long partitions may not drop here
+            ..ReplicationConfig::default()
+        },
+        Some(Arc::clone(obs)),
+        Some(Arc::clone(tracer)),
+    );
+
+    let mut outcomes = Vec::new();
+    let mut key_seq = 0u64;
+    for (fault, mode) in [
+        ("sever", FaultMode::Sever),
+        ("stall", FaultMode::Stall),
+        ("corrupt", FaultMode::Corrupt),
+    ] {
+        let errors_before = repl.stats().link_errors;
+        proxy.set_mode(mode);
+        // Write through the fault so the shipper hits it repeatedly.
+        let fault_until = Instant::now() + Duration::from_millis(300);
+        while Instant::now() < fault_until {
+            source.set(format!("k{key_seq}").into_bytes(), b"v".to_vec());
+            key_seq += 1;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        proxy.set_mode(FaultMode::Forward);
+        let sentinel = format!("sentinel-{fault}");
+        source.set(sentinel.clone().into_bytes(), fault.as_bytes().to_vec());
+        let healed =
+            repl.flush(Duration::from_secs(30)) && backup.get(sentinel.as_bytes()).is_some();
+        let errors_seen = repl.stats().link_errors - errors_before;
+        println!("{fault}: {errors_seen} link errors observed, healed={healed}");
+        assert!(errors_seen > 0, "{fault} fault must surface as link errors");
+        assert!(healed, "{fault}: stream must converge once the link heals");
+        outcomes.push(LinkFaultOutcome {
+            fault,
+            errors_seen,
+            healed,
+        });
+    }
+    let stats = repl.stats();
+    assert_eq!(
+        stats.shipped + stats.queue_dropped + stats.batch_dropped,
+        queue.enqueued(),
+        "every mutation must be accounted for"
+    );
+    repl.stop();
+    proxy.stop();
+    outcomes
+}
+
+/// Fig. 4 model prediction: seconds until warm mass reaches the recovery
+/// threshold, with the pump copying hottest-first and misses refilling
+/// organically — the same two processes the live drill runs.
+fn model_recovery_secs(cfg: &Config) -> f64 {
+    let mut model = WarmupModel::new(cfg.hot_keys as f64, 1.0, THETA, 64);
+    let read_rate = cfg.ops_per_window as f64 / cfg.window.as_secs_f64();
+    let dt = 0.01;
+    let mut t = 0.0;
+    while model.warmed_mass() < RECOVERY_FRACTION && t < 120.0 {
+        model.copy_step(cfg.pump.base_rate * dt);
+        model.organic_step(read_rate, dt);
+        t += dt;
+    }
+    t
+}
+
+fn curve_json(samples: &[WindowSample], pick: impl Fn(&WindowSample) -> f64) -> String {
+    let vals: Vec<String> = samples.iter().map(|s| format!("{:.4}", pick(s))).collect();
+    format!("[{}]", vals.join(","))
+}
+
+fn drill_json(r: &DrillResult, cfg: &Config) -> String {
+    format!(
+        "{{\"steady_fresh_rate\":{:.4},\"kill_window\":{},\"recovery_windows\":{},\
+         \"recovery_s\":{},\"pump_items\":{},\"pump_elapsed_s\":{:.3},\
+         \"pump_rate_items_per_s\":{:.1},\"pump_io_errors\":{},\
+         \"repl_shipped\":{},\"repl_link_errors\":{},\
+         \"fresh\":{},\"served\":{}}}",
+        r.steady_fresh,
+        r.kill_window,
+        r.recovery_windows.map_or("null".into(), |w| w.to_string()),
+        r.recovery_secs(cfg.window)
+            .map_or("null".into(), |s| format!("{s:.3}")),
+        r.pump.items_pumped,
+        r.pump.elapsed.as_secs_f64(),
+        r.pump.achieved_rate,
+        r.pump.io_errors,
+        r.repl_shipped,
+        r.repl_errors,
+        curve_json(&r.samples, |s| s.fresh),
+        curve_json(&r.samples, |s| s.served),
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    heading("Revocation drill");
+    let obs = Arc::new(Obs::new());
+    let tracer = Tracer::all(DEFAULT_TRACE_CAPACITY);
+
+    let warned = run_drill(&cfg, true, &obs, &tracer);
+    let unwarned = run_drill(&cfg, false, &obs, &tracer);
+    let faults = run_link_faults(&obs, &tracer);
+    let model_s = model_recovery_secs(&cfg);
+
+    let warning_s = cfg.warning_windows as f64 * cfg.window.as_secs_f64();
+    let warned_s = warned
+        .recovery_secs(cfg.window)
+        .expect("warned drill must recover within the observation period");
+    let unwarned_s = unwarned
+        .recovery_secs(cfg.window)
+        .expect("unwarned drill must recover within the observation period");
+    println!(
+        "\nrecovery to {:.0}% of steady state: warned {warned_s:.2}s, \
+         unwarned {unwarned_s:.2}s, Fig.4 model (no warning) {model_s:.2}s",
+        RECOVERY_FRACTION * 100.0
+    );
+
+    obs.gauge("drill_steady_fresh_rate")
+        .set(warned.steady_fresh);
+    obs.gauge("drill_warned_recovery_s").set(warned_s);
+    obs.gauge("drill_unwarned_recovery_s").set(unwarned_s);
+    obs.gauge("drill_model_recovery_s").set(model_s);
+    obs.gauge("drill_warning_window_s").set(warning_s);
+
+    // The paper's claim, asserted live: a warned revocation hides nearly
+    // the whole outage inside the warning window; an unwarned one pays
+    // the copy time in degraded service.
+    assert!(
+        warned.steady_fresh >= 0.8,
+        "steady state must mostly hit, got {:.3}",
+        warned.steady_fresh
+    );
+    assert!(
+        warned_s <= warning_s,
+        "with a warning, recovery ({warned_s:.2}s) must fit the warning window ({warning_s:.2}s)"
+    );
+    assert!(
+        unwarned_s >= warned_s + 2.0 * cfg.window.as_secs_f64(),
+        "no-warning recovery ({unwarned_s:.2}s) must be measurably slower than warned ({warned_s:.2}s)"
+    );
+    if !cfg.smoke {
+        let ratio = unwarned_s / model_s.max(1e-9);
+        assert!(
+            (1.0 / 6.0..=6.0).contains(&ratio),
+            "no-warning recovery {unwarned_s:.2}s strays from Fig.4 model {model_s:.2}s (x{ratio:.2})"
+        );
+    }
+
+    let fault_cells: Vec<String> = faults
+        .iter()
+        .map(|f| {
+            format!(
+                "\"{}\":{{\"link_errors\":{},\"healed\":{}}}",
+                f.fault, f.errors_seen, f.healed
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"schema\":\"spotcache-drill-v1\",\"smoke\":{},\"seed\":{},\
+         \"window_s\":{:.3},\"warning_window_s\":{:.3},\"hot_keys\":{},\
+         \"pump_base_rate\":{:.1},\"model_recovery_s\":{:.3},\
+         \"with_warning\":{},\"no_warning\":{},\"link_faults\":{{{}}},\
+         \"obs\":{}}}",
+        cfg.smoke,
+        cfg.seed,
+        cfg.window.as_secs_f64(),
+        warning_s,
+        cfg.hot_keys,
+        cfg.pump.base_rate,
+        model_s,
+        drill_json(&warned, &cfg),
+        drill_json(&unwarned, &cfg),
+        fault_cells.join(","),
+        obs.json_snapshot(),
+    );
+    validate_json(&json).unwrap_or_else(|at| panic!("drill JSON invalid at byte {at}"));
+    std::fs::write(&cfg.out, &json).expect("write drill snapshot");
+    println!("wrote {}", cfg.out);
+
+    if let Some(path) = &cfg.trace_out {
+        let trace = tracer.chrome_trace_json();
+        validate_json(&trace).unwrap_or_else(|at| panic!("trace JSON invalid at byte {at}"));
+        let cats = tracer.categories();
+        for layer in ["drill", "replication"] {
+            assert!(
+                cats.contains(&layer),
+                "trace missing {layer} spans: {cats:?}"
+            );
+        }
+        std::fs::write(path, &trace).expect("write trace");
+        println!("wrote {path}: {} spans across {cats:?}", tracer.len());
+    }
+    println!("revocation drill OK");
+}

@@ -1,0 +1,290 @@
+//! Fault injection for replication links: a TCP proxy that can sever,
+//! stall, or corrupt traffic on command.
+//!
+//! The `revocation_drill` bin never talks to the backup directly — the
+//! replication stream is pointed at a [`FaultProxy`] so the drill can
+//! flip the link through the failure matrix (DESIGN.md §"Revocation
+//! drills") mid-traffic and assert that the shipper survives:
+//!
+//! * [`FaultMode::Forward`] — healthy pass-through,
+//! * [`FaultMode::Sever`] — existing connections are closed and new ones
+//!   are accepted-then-dropped (a hard partition: the shipper sees EOF /
+//!   connection reset and reconnects with backoff),
+//! * [`FaultMode::Stall`] — bytes are accepted but not forwarded (a hung
+//!   peer: the shipper's per-link I/O timeout trips), and
+//! * [`FaultMode::Corrupt`] — the backup's *response* bytes are
+//!   bit-flipped (a desynced or damaged link: ack validation fails).
+//!
+//! Only the response direction is corrupted, deliberately: a flipped ack
+//! is what the link layer can *detect* (the shipper validates every
+//! reply), whereas flipping request payload bytes would be stored
+//! silently — guarding against that needs end-to-end checksums, which
+//! the memcached text protocol does not carry. The drill therefore
+//! asserts detection of link corruption, not payload integrity.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the proxy does with traffic right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Pass bytes through unmodified.
+    Forward,
+    /// Close existing connections; accept-then-drop new ones.
+    Sever,
+    /// Accept bytes but forward nothing (trips peer I/O timeouts).
+    Stall,
+    /// Forward, but bit-flip response bytes (breaks ack validation).
+    Corrupt,
+}
+
+const M_FORWARD: u8 = 0;
+const M_SEVER: u8 = 1;
+const M_STALL: u8 = 2;
+const M_CORRUPT: u8 = 3;
+
+/// Link-level event counts, snapshot by [`FaultProxy::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Connections accepted and relayed.
+    pub connections: u64,
+    /// Connections dropped by [`FaultMode::Sever`].
+    pub severed: u64,
+    /// Response chunks corrupted by [`FaultMode::Corrupt`].
+    pub corrupted_chunks: u64,
+}
+
+struct Shared {
+    mode: AtomicU8,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    severed: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+/// The fault-injecting TCP proxy; see the module docs.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+/// Poll interval for mode/shutdown checks inside relay loops.
+const RELAY_TICK: Duration = Duration::from_millis(10);
+
+fn relay(mut from: TcpStream, mut to: TcpStream, shared: Arc<Shared>, corruptible: bool) {
+    let _ = from.set_read_timeout(Some(RELAY_TICK));
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match shared.mode.load(Ordering::Relaxed) {
+            M_SEVER => return, // dropping both streams closes the link
+            M_STALL => {
+                // Swallow time, not data: nothing is read or forwarded,
+                // so the peer's I/O timeout trips.
+                std::thread::sleep(RELAY_TICK);
+                continue;
+            }
+            _ => {}
+        }
+        match from.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                if corruptible && shared.mode.load(Ordering::Relaxed) == M_CORRUPT {
+                    // One flipped bit per chunk is enough to break an ack.
+                    chunk[0] ^= 0x40;
+                    shared.corrupted.fetch_add(1, Ordering::Relaxed);
+                }
+                if to.write_all(&chunk[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+impl FaultProxy {
+    /// Starts a proxy on an ephemeral localhost port forwarding to
+    /// `upstream`, initially in [`FaultMode::Forward`].
+    pub fn start(upstream: SocketAddr) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            mode: AtomicU8::new(M_FORWARD),
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            severed: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+        });
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fault-proxy".into())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((client, _)) => {
+                                if shared.mode.load(Ordering::Relaxed) == M_SEVER {
+                                    shared.severed.fetch_add(1, Ordering::Relaxed);
+                                    drop(client); // accept-then-drop
+                                    continue;
+                                }
+                                let Ok(server) =
+                                    TcpStream::connect_timeout(&upstream, Duration::from_secs(1))
+                                else {
+                                    continue;
+                                };
+                                shared.connections.fetch_add(1, Ordering::Relaxed);
+                                let (Ok(c2), Ok(s2)) = (client.try_clone(), server.try_clone())
+                                else {
+                                    continue;
+                                };
+                                // Requests flow uncorrupted; responses are
+                                // the corruptible direction.
+                                let sh = Arc::clone(&shared);
+                                std::thread::spawn(move || relay(client, server, sh, false));
+                                let sh = Arc::clone(&shared);
+                                std::thread::spawn(move || relay(s2, c2, sh, true));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn fault proxy")
+        };
+        Ok(Self {
+            addr,
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The proxy's listen address — point the replication link here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Switches the fault mode; takes effect within one relay tick.
+    pub fn set_mode(&self, mode: FaultMode) {
+        let m = match mode {
+            FaultMode::Forward => M_FORWARD,
+            FaultMode::Sever => M_SEVER,
+            FaultMode::Stall => M_STALL,
+            FaultMode::Corrupt => M_CORRUPT,
+        };
+        self.shared.mode.store(m, Ordering::Relaxed);
+    }
+
+    /// Event counts so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            severed: self.shared.severed.load(Ordering::Relaxed),
+            corrupted_chunks: self.shared.corrupted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting; relay threads notice within one tick.
+    pub fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut s = stream;
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = s.read(&mut buf) {
+                        if n == 0 || s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn roundtrip(addr: SocketAddr, msg: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_millis(500)))?;
+        s.write_all(msg)?;
+        let mut buf = vec![0u8; msg.len()];
+        s.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    #[test]
+    fn forward_passes_bytes_through() {
+        let upstream = echo_server();
+        let proxy = FaultProxy::start(upstream).unwrap();
+        assert_eq!(roundtrip(proxy.addr(), b"hello").unwrap(), b"hello");
+        assert_eq!(proxy.stats().connections, 1);
+    }
+
+    #[test]
+    fn sever_drops_new_connections() {
+        let upstream = echo_server();
+        let proxy = FaultProxy::start(upstream).unwrap();
+        proxy.set_mode(FaultMode::Sever);
+        assert!(roundtrip(proxy.addr(), b"hello").is_err());
+        assert!(proxy.stats().severed >= 1);
+        proxy.set_mode(FaultMode::Forward);
+        assert_eq!(roundtrip(proxy.addr(), b"back").unwrap(), b"back");
+    }
+
+    #[test]
+    fn stall_trips_read_timeouts_then_recovers() {
+        let upstream = echo_server();
+        let proxy = FaultProxy::start(upstream).unwrap();
+        proxy.set_mode(FaultMode::Stall);
+        let err = roundtrip(proxy.addr(), b"hello");
+        assert!(err.is_err(), "stalled link must time out");
+        proxy.set_mode(FaultMode::Forward);
+        assert_eq!(roundtrip(proxy.addr(), b"back").unwrap(), b"back");
+    }
+
+    #[test]
+    fn corrupt_flips_response_bytes() {
+        let upstream = echo_server();
+        let proxy = FaultProxy::start(upstream).unwrap();
+        proxy.set_mode(FaultMode::Corrupt);
+        let got = roundtrip(proxy.addr(), b"hello").unwrap();
+        assert_ne!(got, b"hello");
+        assert!(proxy.stats().corrupted_chunks >= 1);
+    }
+}

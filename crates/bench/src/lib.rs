@@ -1,10 +1,15 @@
+#![warn(missing_docs)]
+
 //! Experiment regenerators and benchmark harness for `spotcache`.
 //!
 //! Every table and figure of the paper's evaluation has a binary under
 //! `src/bin/` that regenerates it (see DESIGN.md for the index), and
 //! `benches/` holds Criterion micro-benchmarks over the core data
-//! structures. This library crate only carries small output helpers shared
-//! by the binaries.
+//! structures. This library crate carries small output helpers shared by
+//! the binaries plus [`faults`], the fault-injecting TCP proxy the
+//! `revocation_drill` bin aims replication links through.
+
+pub mod faults;
 
 /// Prints a fixed-width text table: a header row, a rule, then rows.
 ///

@@ -16,7 +16,10 @@
 //! * [`protocol`] — the memcached text protocol (parse / execute / encode)
 //!   so a node can be driven with real wire traffic, and
 //! * [`server`] — a worker-pool TCP server multiplexing nonblocking
-//!   connections over the protocol codec.
+//!   connections over the protocol codec, and
+//! * [`replication`] — a hot-key mutation tap + bounded queue + TCP
+//!   shipper keeping a passive backup warm (paper §3.3; see
+//!   DESIGN.md §"Revocation drills").
 //!
 //! The data plane is built for pipelined batches: [`protocol::parse_request`]
 //! borrows keys and data from the input buffer, [`protocol::serve_into`]
@@ -27,6 +30,7 @@
 pub mod lru;
 pub mod node;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 pub mod slab;
 pub mod store;
@@ -37,6 +41,11 @@ pub use protocol::{
     execute, execute_into, parse, parse_request, serve, serve_into, serve_observed,
     serve_observed_into, Command, ParseError, ProtocolObs, Request, StoreVerb,
 };
+pub use replication::{
+    ship_batch, Mutation, ReplicationConfig, ReplicationQueue, ReplicationStats, Replicator,
+};
 pub use server::{CacheClient, CacheServer, Clock, LogicalClock, ServerConfig, SystemClock};
 pub use slab::{slab_efficiency, SlabAllocator, SlabClasses, SlabError};
-pub use store::{CacheStats, SetOutcome, SetPolicy, Store, StoreConfig, StoreSnapshot};
+pub use store::{
+    CacheStats, MutationSink, SetOutcome, SetPolicy, Store, StoreConfig, StoreSnapshot,
+};

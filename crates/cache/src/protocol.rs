@@ -381,14 +381,21 @@ fn parse_u64(b: &[u8]) -> Option<u64> {
 
 /// Wire format of a stored value: 4-byte big-endian flags then the data.
 /// (Flags are opaque to memcached but must round-trip.)
-fn encode_value(flags: u32, data: &[u8]) -> Vec<u8> {
+///
+/// Public because the replication shipper and the warm-up pump read raw
+/// store values and must re-frame them as protocol `set`s (see
+/// [`crate::replication`]).
+pub fn encode_value(flags: u32, data: &[u8]) -> Vec<u8> {
     let mut v = Vec::with_capacity(4 + data.len());
     v.extend_from_slice(&flags.to_be_bytes());
     v.extend_from_slice(data);
     v
 }
 
-fn decode_value(raw: &[u8]) -> Option<(u32, &[u8])> {
+/// Splits a raw stored value into its client flags and data payload; `None`
+/// when the value was stored without the protocol's flag prefix (a direct
+/// [`Store`] write).
+pub fn decode_value(raw: &[u8]) -> Option<(u32, &[u8])> {
     if raw.len() < 4 {
         return None;
     }

@@ -1,0 +1,718 @@
+//! Live hot-key replication: source → passive backup over the wire.
+//!
+//! The paper's robustness story (§3.3) keeps a cheap burstable *backup*
+//! holding every hot item that lives on revocable spot nodes. This module
+//! is the live counterpart of the simulated stream in
+//! `spotcache_core::replication`: a source [`Store`] tails its hot-key
+//! mutations through a [`MutationSink`] tap into a bounded
+//! [`ReplicationQueue`], and a [`Replicator`] thread ships them to a real
+//! backup server as memcached `set`/`delete` commands over TCP.
+//!
+//! Design points (see DESIGN.md §"Revocation drills" for the derivation):
+//!
+//! * **Bounded queue, drop-oldest.** Replication must never stall the data
+//!   plane. When the backup link is slower than the write rate the queue
+//!   drops its *oldest* entries first: a dropped old `set` is repaired by
+//!   any newer write of the same key, and the warm-up pump replays the
+//!   backup's whole hot set anyway, so old losses only widen the stale
+//!   window rather than corrupt it.
+//! * **Acked shipping.** Batches are shipped as replying (non-`noreply`)
+//!   commands and every response line is validated, so a corrupted or
+//!   desynchronized link is *detected* (→ reconnect + retry) instead of
+//!   silently diverging. Sets are idempotent, so re-shipping a batch after
+//!   a failed ack is safe.
+//! * **Retry with exponential backoff, bounded.** A dead link backs off
+//!   from [`ReplicationConfig::backoff_base`] to
+//!   [`ReplicationConfig::backoff_max`]; after
+//!   [`ReplicationConfig::max_batch_retries`] failed attempts the batch is
+//!   dropped (counted), keeping memory bounded through long partitions.
+//! * **Everything is counted.** Shipped, queue-dropped, batch-dropped,
+//!   retries, reconnects and link errors surface as `repl_*` obs series
+//!   and as `replication.*` trace spans; faults never panic the source.
+//!
+//! TTL fidelity: the tap records the *relative* TTL the writer supplied;
+//! shipping re-bases it on the backup's clock, so a replicated item can
+//! outlive its source copy by the replication delay. The paper's hot items
+//! are effectively TTL-less, and the warm-up pump re-derives TTLs from the
+//! backup's clock the same way.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use spotcache_obs::{Obs, Tracer};
+
+use crate::protocol::{decode_value, EXPTIME_ABSOLUTE_CUTOFF};
+use crate::store::{MutationSink, Store};
+
+/// Tuning knobs for the replication stream.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Queue capacity in mutations; beyond it the oldest entry is dropped.
+    pub queue_capacity: usize,
+    /// Mutations shipped per batch (one write + one ack read per batch).
+    pub batch_max: usize,
+    /// Per-link read/write timeout — a stalled backup trips this rather
+    /// than hanging the shipper.
+    pub io_timeout: Duration,
+    /// First reconnect/retry delay after a link error.
+    pub backoff_base: Duration,
+    /// Backoff ceiling (doubling stops here).
+    pub backoff_max: Duration,
+    /// Idle poll interval when the queue is empty.
+    pub poll_interval: Duration,
+    /// Ship attempts per batch before it is dropped (bounds memory and
+    /// latency through long partitions; the pump repairs the loss).
+    pub max_batch_retries: u32,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 16_384,
+            batch_max: 64,
+            io_timeout: Duration::from_millis(500),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            poll_interval: Duration::from_millis(1),
+            max_batch_retries: 8,
+        }
+    }
+}
+
+/// One tailed store mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// A key was stored. `raw_value` is the raw stored bytes (flag prefix
+    /// included when written through the protocol); `ttl` is the relative
+    /// TTL the writer supplied.
+    Set {
+        /// The key.
+        key: Bytes,
+        /// Raw stored value.
+        raw_value: Bytes,
+        /// Relative TTL, if any.
+        ttl: Option<u64>,
+    },
+    /// A key was deleted.
+    Delete {
+        /// The key.
+        key: Bytes,
+    },
+}
+
+impl Mutation {
+    /// The mutation's key.
+    pub fn key(&self) -> &Bytes {
+        match self {
+            Mutation::Set { key, .. } | Mutation::Delete { key } => key,
+        }
+    }
+
+    /// Applies the mutation directly to a store at logical time `now` —
+    /// the loopback equivalent of shipping it over the wire. Used by the
+    /// replay-convergence tests; the live path always ships TCP.
+    pub fn apply(&self, store: &Store, now: u64) {
+        match self {
+            Mutation::Set {
+                key,
+                raw_value,
+                ttl,
+            } => store.set_at(key.clone(), raw_value.clone(), now, *ttl),
+            Mutation::Delete { key } => {
+                store.delete(key);
+            }
+        }
+    }
+}
+
+/// The bounded drop-oldest mutation queue between the tap and the shipper.
+///
+/// Install it as a store's [`MutationSink`] (via
+/// [`Store::set_mutation_sink`]) to tail writes; an optional hot-key
+/// prefix restricts replication to the hot tier, matching the paper's
+/// "backup holds hot content only".
+#[derive(Debug)]
+pub struct ReplicationQueue {
+    inner: Mutex<VecDeque<Mutation>>,
+    capacity: usize,
+    hot_prefix: Option<Vec<u8>>,
+    enqueued: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl ReplicationQueue {
+    /// Creates a queue holding at most `capacity` mutations, replicating
+    /// only keys starting with `hot_prefix` (`None` = every key).
+    pub fn new(capacity: usize, hot_prefix: Option<Vec<u8>>) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            capacity: capacity.max(1),
+            hot_prefix,
+            enqueued: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    fn admits(&self, key: &[u8]) -> bool {
+        match &self.hot_prefix {
+            Some(p) => key.starts_with(p),
+            None => true,
+        }
+    }
+
+    /// Enqueues a mutation, dropping the oldest entry when full.
+    pub fn push(&self, m: Mutation) {
+        let mut q = self.inner.lock();
+        if q.len() >= self.capacity {
+            q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.push_back(m);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Moves up to `max` mutations into `out` (appended, FIFO order).
+    pub fn drain_into(&self, out: &mut Vec<Mutation>, max: usize) {
+        let mut q = self.inner.lock();
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+    }
+
+    /// Mutations currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutations accepted since creation (excludes filtered keys).
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Mutations dropped by the drop-oldest policy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl MutationSink for ReplicationQueue {
+    fn on_set(&self, key: &Bytes, raw_value: &Bytes, ttl: Option<u64>) {
+        if self.admits(key) {
+            self.push(Mutation::Set {
+                key: key.clone(),
+                raw_value: raw_value.clone(),
+                ttl,
+            });
+        }
+    }
+
+    fn on_delete(&self, key: &[u8]) {
+        if self.admits(key) {
+            self.push(Mutation::Delete {
+                key: Bytes::copy_from_slice(key),
+            });
+        }
+    }
+}
+
+/// Cumulative link statistics (also exported as `repl_*` obs counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Mutations acked by the backup.
+    pub shipped: u64,
+    /// Mutations dropped by the queue's drop-oldest policy.
+    pub queue_dropped: u64,
+    /// Mutations dropped after exhausting batch retries.
+    pub batch_dropped: u64,
+    /// Failed ship attempts (each is followed by a backoff).
+    pub retries: u64,
+    /// Successful link (re)connects after the first.
+    pub reconnects: u64,
+    /// I/O errors and bad acks observed on the link.
+    pub link_errors: u64,
+}
+
+#[derive(Default)]
+struct LinkShared {
+    shipped: AtomicU64,
+    batch_dropped: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
+    link_errors: AtomicU64,
+}
+
+/// The shipper: drains a [`ReplicationQueue`] to a backup server.
+pub struct Replicator {
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    shared: Arc<LinkShared>,
+    queue: Arc<ReplicationQueue>,
+}
+
+/// Serializes a batch as replying memcached commands and the number of
+/// response lines expected back.
+fn serialize_batch(batch: &[Mutation], out: &mut Vec<u8>) -> usize {
+    out.clear();
+    for m in batch {
+        match m {
+            Mutation::Set {
+                key,
+                raw_value,
+                ttl,
+            } => {
+                // Values written through the protocol carry a 4-byte flag
+                // prefix; re-frame them as proper protocol sets. Direct
+                // store writes (no prefix) ship with flags 0.
+                let (flags, data) = match decode_value(raw_value) {
+                    Some((f, d)) => (f, d),
+                    None => (0, &raw_value[..]),
+                };
+                // Clamp so a large relative TTL is not misread as an
+                // absolute timestamp by the backup.
+                let exptime = ttl.unwrap_or(0).min(EXPTIME_ABSOLUTE_CUTOFF - 1);
+                out.extend_from_slice(b"set ");
+                out.extend_from_slice(key);
+                out.extend_from_slice(format!(" {flags} {exptime} {}\r\n", data.len()).as_bytes());
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
+            Mutation::Delete { key } => {
+                out.extend_from_slice(b"delete ");
+                out.extend_from_slice(key);
+                out.extend_from_slice(b"\r\n");
+            }
+        }
+    }
+    batch.len()
+}
+
+/// Reads `expected` CRLF-terminated ack lines, validating each.
+fn read_acks(stream: &mut TcpStream, expected: usize, buf: &mut Vec<u8>) -> std::io::Result<()> {
+    buf.clear();
+    let mut chunk = [0u8; 4096];
+    let mut seen = 0usize;
+    let mut scanned = 0usize;
+    while seen < expected {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "backup closed mid-ack",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = buf[scanned..].iter().position(|&b| b == b'\n') {
+            let line = &buf[scanned..scanned + pos];
+            let line = line.strip_suffix(b"\r").unwrap_or(line);
+            match line {
+                b"STORED" | b"DELETED" | b"NOT_FOUND" => {}
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad ack: {:?}", String::from_utf8_lossy(other)),
+                    ));
+                }
+            }
+            scanned += pos + 1;
+            seen += 1;
+            if seen == expected {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `batch` as replying commands into `req`, writes it to
+/// `stream`, and validates every ack line (using `ack_buf` as scratch).
+///
+/// Shared by the replication shipper and the warm-up pump
+/// (`spotcache_core::drill`): both move store contents over the wire as
+/// acked memcached commands, so a corrupt or truncated link surfaces as
+/// an `Err` instead of silent divergence.
+pub fn ship_batch(
+    stream: &mut TcpStream,
+    batch: &[Mutation],
+    req: &mut Vec<u8>,
+    ack_buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    let expected = serialize_batch(batch, req);
+    stream.write_all(req)?;
+    read_acks(stream, expected, ack_buf)
+}
+
+impl Replicator {
+    /// Starts a shipper thread draining `queue` to the backup at `addr`.
+    ///
+    /// When `obs` is supplied, link activity surfaces as `repl_*` counters
+    /// and the `repl_queue_depth` gauge; when `tracer` is supplied, batch
+    /// ships, reconnects, and link faults appear as `replication.*` spans.
+    pub fn start(
+        addr: SocketAddr,
+        queue: Arc<ReplicationQueue>,
+        cfg: ReplicationConfig,
+        obs: Option<Arc<Obs>>,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(LinkShared::default());
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("repl-shipper".into())
+                .spawn(move || ship_loop(addr, queue, cfg, obs, tracer, shutdown, shared))
+                .expect("spawn replication shipper")
+        };
+        Self {
+            shutdown,
+            handle: Some(handle),
+            shared,
+            queue,
+        }
+    }
+
+    /// Current link statistics.
+    pub fn stats(&self) -> ReplicationStats {
+        ReplicationStats {
+            shipped: self.shared.shipped.load(Ordering::Relaxed),
+            queue_dropped: self.queue.dropped(),
+            batch_dropped: self.shared.batch_dropped.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
+            reconnects: self.shared.reconnects.load(Ordering::Relaxed),
+            link_errors: self.shared.link_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Waits until every accepted mutation is accounted for (shipped or
+    /// dropped) or `timeout` elapses; returns whether the stream drained.
+    /// Writers should be quiesced first — this is the 2-minute-warning
+    /// drain step.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let s = self.stats();
+            if s.shipped + s.queue_dropped + s.batch_dropped >= self.queue.enqueued() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Signals shutdown and joins the shipper thread. Queued and in-flight
+    /// mutations are abandoned; call [`flush`](Self::flush) first for a
+    /// graceful drain.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Replicator {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ship_loop(
+    addr: SocketAddr,
+    queue: Arc<ReplicationQueue>,
+    cfg: ReplicationConfig,
+    obs: Option<Arc<Obs>>,
+    tracer: Option<Arc<Tracer>>,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<LinkShared>,
+) {
+    let c_shipped = obs.as_ref().map(|o| o.counter("repl_shipped_total"));
+    let c_retries = obs.as_ref().map(|o| o.counter("repl_retries_total"));
+    let c_reconn = obs.as_ref().map(|o| o.counter("repl_reconnects_total"));
+    let c_errors = obs.as_ref().map(|o| o.counter("repl_link_errors_total"));
+    let c_bdrop = obs.as_ref().map(|o| o.counter("repl_batch_dropped_total"));
+    let c_qdrop = obs.as_ref().map(|o| o.counter("repl_queue_dropped_total"));
+    let g_depth = obs.as_ref().map(|o| o.gauge("repl_queue_depth"));
+    let mut qdrop_seen = 0u64;
+
+    let fault = |kind: &'static str| {
+        shared.link_errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &c_errors {
+            c.inc();
+        }
+        if let Some(t) = tracer.as_deref() {
+            if t.is_enabled() {
+                // Zero-length marker span: faults show on the timeline.
+                t.record_at("replication", kind, t.now_us(), 0.0);
+            }
+        }
+    };
+
+    let mut conn: Option<TcpStream> = None;
+    let mut ever_connected = false;
+    let mut backoff = cfg.backoff_base;
+    let mut batch: Vec<Mutation> = Vec::new();
+    let mut attempts: u32 = 0;
+    let mut req = Vec::new();
+    let mut ack_buf = Vec::new();
+
+    while !shutdown.load(Ordering::SeqCst) {
+        if let (Some(g), Some(c)) = (&g_depth, &c_qdrop) {
+            g.set(queue.len() as f64);
+            let d = queue.dropped();
+            if d > qdrop_seen {
+                c.add(d - qdrop_seen);
+                qdrop_seen = d;
+            }
+        }
+        if batch.is_empty() {
+            queue.drain_into(&mut batch, cfg.batch_max);
+            if batch.is_empty() {
+                std::thread::sleep(cfg.poll_interval);
+                continue;
+            }
+        }
+        // Connect (or reconnect) with backoff.
+        if conn.is_none() {
+            let _span = tracer.as_deref().map(|t| t.span("replication", "connect"));
+            match TcpStream::connect_timeout(&addr, cfg.io_timeout) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(cfg.io_timeout));
+                    let _ = s.set_write_timeout(Some(cfg.io_timeout));
+                    if ever_connected {
+                        shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                        if let Some(c) = &c_reconn {
+                            c.inc();
+                        }
+                    }
+                    ever_connected = true;
+                    backoff = cfg.backoff_base;
+                    conn = Some(s);
+                }
+                Err(_) => {
+                    fault("connect_failed");
+                    attempts =
+                        bump_attempts(attempts, &cfg, &mut batch, &shared, &c_bdrop, &c_retries);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(cfg.backoff_max);
+                    continue;
+                }
+            }
+        }
+        let stream = conn.as_mut().expect("connected above");
+        let span = tracer
+            .as_deref()
+            .map(|t| t.span("replication", "ship_batch"));
+        let result = ship_batch(stream, &batch, &mut req, &mut ack_buf);
+        drop(span);
+        match result {
+            Ok(()) => {
+                shared
+                    .shipped
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                if let Some(c) = &c_shipped {
+                    c.add(batch.len() as u64);
+                }
+                batch.clear();
+                attempts = 0;
+                backoff = cfg.backoff_base;
+            }
+            Err(e) => {
+                fault(if e.kind() == std::io::ErrorKind::InvalidData {
+                    "corrupt_ack"
+                } else {
+                    "link_io_error"
+                });
+                conn = None; // the link state is unknown: resync by reconnecting
+                attempts = bump_attempts(attempts, &cfg, &mut batch, &shared, &c_bdrop, &c_retries);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cfg.backoff_max);
+            }
+        }
+    }
+}
+
+/// Counts a failed attempt; drops the batch once retries are exhausted.
+fn bump_attempts(
+    attempts: u32,
+    cfg: &ReplicationConfig,
+    batch: &mut Vec<Mutation>,
+    shared: &LinkShared,
+    c_bdrop: &Option<spotcache_obs::Counter>,
+    c_retries: &Option<spotcache_obs::Counter>,
+) -> u32 {
+    shared.retries.fetch_add(1, Ordering::Relaxed);
+    if let Some(c) = c_retries {
+        c.inc();
+    }
+    let attempts = attempts + 1;
+    if attempts > cfg.max_batch_retries {
+        shared
+            .batch_dropped
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if let Some(c) = c_bdrop {
+            c.add(batch.len() as u64);
+        }
+        batch.clear();
+        return 0;
+    }
+    attempts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{CacheServer, LogicalClock};
+    use crate::store::StoreConfig;
+
+    fn store() -> Arc<Store> {
+        Arc::new(Store::new(StoreConfig {
+            capacity_bytes: 4 << 20,
+            shards: 4,
+        }))
+    }
+
+    #[test]
+    fn tap_captures_sets_and_deletes_with_prefix_filter() {
+        let s = store();
+        let q = ReplicationQueue::new(64, Some(b"h".to_vec()));
+        s.set_mutation_sink(Some(q.clone()));
+        s.set("h1", "hot");
+        s.set("c1", "cold");
+        s.delete(b"h1");
+        s.delete(b"c1");
+        s.delete(b"absent"); // no-op deletes are not tapped
+        assert_eq!(q.enqueued(), 2);
+        let mut out = Vec::new();
+        q.drain_into(&mut out, 10);
+        assert!(matches!(&out[0], Mutation::Set { key, .. } if key.as_ref() == b"h1"));
+        assert!(matches!(&out[1], Mutation::Delete { key } if key.as_ref() == b"h1"));
+        // Removing the sink stops the tap.
+        s.set_mutation_sink(None);
+        s.set("h2", "hot");
+        assert_eq!(q.enqueued(), 2);
+    }
+
+    #[test]
+    fn queue_drops_oldest_under_backpressure() {
+        let q = ReplicationQueue::new(3, None);
+        for i in 0..5u8 {
+            q.push(Mutation::Delete {
+                key: Bytes::copy_from_slice(&[i]),
+            });
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 2);
+        assert_eq!(q.enqueued(), 5);
+        let mut out = Vec::new();
+        q.drain_into(&mut out, 10);
+        // The two oldest (0, 1) are gone.
+        assert_eq!(out[0].key().as_ref(), &[2]);
+        assert_eq!(out[2].key().as_ref(), &[4]);
+    }
+
+    #[test]
+    fn replicates_source_writes_to_backup_server() {
+        let source = store();
+        let backup = store();
+        let clock = LogicalClock::new();
+        let server = CacheServer::start(Arc::clone(&backup), Arc::clone(&clock), "127.0.0.1:0")
+            .expect("backup server");
+        let q = ReplicationQueue::new(1024, Some(b"h".to_vec()));
+        source.set_mutation_sink(Some(q.clone()));
+        let mut repl =
+            Replicator::start(server.addr(), q, ReplicationConfig::default(), None, None);
+        // Protocol-framed writes (flag prefix) and a delete.
+        for i in 0..50u32 {
+            let framed = crate::protocol::encode_value(7, format!("v{i}").as_bytes());
+            source.set_at(format!("h{i}").into_bytes(), framed, 0, None);
+        }
+        source.delete(b"h0");
+        assert!(repl.flush(Duration::from_secs(10)), "stream must drain");
+        let stats = repl.stats();
+        assert_eq!(stats.shipped, 51);
+        assert_eq!(stats.batch_dropped + stats.queue_dropped, 0);
+        // Backup converged: h0 deleted, the rest framed identically.
+        assert!(backup.get(b"h0").is_none());
+        for i in 1..50u32 {
+            assert_eq!(
+                backup.get(format!("h{i}").as_bytes()),
+                source.get(format!("h{i}").as_bytes()),
+                "key h{i} diverged"
+            );
+        }
+        repl.stop();
+    }
+
+    #[test]
+    fn dead_link_retries_then_drops_batches_without_panicking() {
+        let q = ReplicationQueue::new(64, None);
+        // Nothing listens here: grab an ephemeral port and close it.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let cfg = ReplicationConfig {
+            io_timeout: Duration::from_millis(50),
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(5),
+            max_batch_retries: 2,
+            ..ReplicationConfig::default()
+        };
+        let mut repl = Replicator::start(addr, q.clone(), cfg, None, None);
+        q.push(Mutation::Delete {
+            key: Bytes::copy_from_slice(b"k"),
+        });
+        assert!(repl.flush(Duration::from_secs(10)), "drop must account");
+        let s = repl.stats();
+        assert_eq!(s.shipped, 0);
+        assert_eq!(s.batch_dropped, 1);
+        assert!(s.retries >= 3, "retries before dropping: {}", s.retries);
+        assert!(s.link_errors >= 3);
+        repl.stop();
+    }
+
+    #[test]
+    fn observed_replication_exports_counters() {
+        let source = store();
+        let backup = store();
+        let clock = LogicalClock::new();
+        let server = CacheServer::start(Arc::clone(&backup), clock, "127.0.0.1:0").expect("server");
+        let q = ReplicationQueue::new(1024, None);
+        source.set_mutation_sink(Some(q.clone()));
+        let obs = Arc::new(Obs::new());
+        let tracer = Tracer::all(4096);
+        let mut repl = Replicator::start(
+            server.addr(),
+            q,
+            ReplicationConfig::default(),
+            Some(Arc::clone(&obs)),
+            Some(Arc::clone(&tracer)),
+        );
+        source.set("a", "1");
+        source.set("b", "2");
+        assert!(repl.flush(Duration::from_secs(10)));
+        repl.stop();
+        assert_eq!(obs.counter("repl_shipped_total").get(), 2);
+        assert!(tracer.categories().contains(&"replication"));
+        let names: std::collections::BTreeSet<&'static str> =
+            tracer.spans().iter().map(|r| r.name).collect();
+        assert!(names.contains("ship_batch"), "{names:?}");
+    }
+}

@@ -7,11 +7,28 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::lru::LruList;
+
+/// A sink for store mutations, installed with [`Store::set_mutation_sink`].
+///
+/// The replication stream ([`crate::replication`]) implements this to tail
+/// hot-key writes into its bounded queue. Callbacks run on the mutating
+/// thread **after** the shard lock is released, so a sink may take its own
+/// locks but must stay cheap — it sits on the data plane's write path.
+pub trait MutationSink: Send + Sync {
+    /// A key was stored (the value is the raw stored bytes, including the
+    /// protocol's flag prefix when the write came through the protocol
+    /// layer). `ttl` is the relative TTL the writer supplied, if any.
+    fn on_set(&self, key: &Bytes, raw_value: &Bytes, ttl: Option<u64>);
+
+    /// A key was deleted (only called when the key existed).
+    fn on_delete(&self, key: &[u8]);
+}
 
 /// Fixed per-item metadata overhead we account alongside key+value bytes
 /// (memcached's item header is ~48-56 bytes; we use a round number).
@@ -261,6 +278,10 @@ impl Shard {
 /// ```
 pub struct Store {
     shards: Vec<Mutex<Shard>>,
+    /// Optional mutation tap (replication). Read-locked per write; writes
+    /// are rare (installation at topology changes), so the read path is an
+    /// uncontended `RwLock` read.
+    sink: RwLock<Option<Arc<dyn MutationSink>>>,
 }
 
 thread_local! {
@@ -276,7 +297,34 @@ impl Store {
         let per_shard = config.capacity_bytes / n;
         Self {
             shards: (0..n).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            sink: RwLock::new(None),
         }
+    }
+
+    /// Installs (or removes, with `None`) the mutation tap. Subsequent
+    /// successful sets and deletes are reported to the sink; in-flight
+    /// operations on other threads may still miss it for one operation.
+    pub fn set_mutation_sink(&self, sink: Option<Arc<dyn MutationSink>>) {
+        *self.sink.write() = sink;
+    }
+
+    #[inline]
+    fn tap_set(&self, key: &Bytes, value: &Bytes, ttl: Option<u64>) {
+        if let Some(s) = self.sink.read().as_ref() {
+            s.on_set(key, value, ttl);
+        }
+    }
+
+    #[inline]
+    fn tap_delete(&self, key: &[u8]) {
+        if let Some(s) = self.sink.read().as_ref() {
+            s.on_delete(key);
+        }
+    }
+
+    #[inline]
+    fn sink_installed(&self) -> bool {
+        self.sink.read().is_some()
     }
 
     /// Creates a single-shard store with the given byte budget.
@@ -367,11 +415,23 @@ impl Store {
     /// matches sequential `set_at` calls. Returns how many items were
     /// stored (an item is rejected only when it exceeds its shard budget).
     pub fn set_many_at(&self, items: Vec<(Bytes, Bytes, Option<u64>)>, now: u64) -> usize {
+        // The tap fires outside the shard locks; stored items are staged
+        // only when a sink is installed (refcount clones, no byte copies).
+        let tapping = self.sink_installed();
+        let mut tapped: Vec<(Bytes, Bytes, Option<u64>)> = Vec::new();
         let mut stored = 0usize;
         if self.shards.len() == 1 {
             let mut sh = self.shards[0].lock();
             for (k, v, ttl) in items {
-                stored += sh.set(k, v, now, ttl) as usize;
+                let ok = sh.set(k.clone(), v.clone(), now, ttl);
+                if ok && tapping {
+                    tapped.push((k, v, ttl));
+                }
+                stored += ok as usize;
+            }
+            drop(sh);
+            for (k, v, ttl) in &tapped {
+                self.tap_set(k, v, *ttl);
             }
             return stored;
         }
@@ -389,9 +449,16 @@ impl Store {
             for (slot, &id) in slots.iter_mut().zip(ids.iter()) {
                 if id == s {
                     let (k, v, ttl) = slot.take().expect("each slot is taken exactly once");
-                    stored += sh.set(k, v, now, ttl) as usize;
+                    let ok = sh.set(k.clone(), v.clone(), now, ttl);
+                    if ok && tapping {
+                        tapped.push((k, v, ttl));
+                    }
+                    stored += ok as usize;
                 }
             }
+        }
+        for (k, v, ttl) in &tapped {
+            self.tap_set(k, v, *ttl);
         }
         stored
     }
@@ -408,7 +475,15 @@ impl Store {
     }
 
     fn shard_for_owned(&self, key: Bytes, value: Bytes, now: u64, ttl: Option<u64>) {
-        self.shard_for(&key).lock().set(key, value, now, ttl);
+        // `Bytes` clones are refcount bumps; the tap fires after the shard
+        // lock is released.
+        let stored = self
+            .shard_for(&key)
+            .lock()
+            .set(key.clone(), value.clone(), now, ttl);
+        if stored {
+            self.tap_set(&key, &value, ttl);
+        }
     }
 
     /// Inserts a key with no TTL.
@@ -433,9 +508,15 @@ impl Store {
         policy: SetPolicy,
     ) -> SetOutcome {
         let key = key.into();
-        self.shard_for(&key)
+        let value = value.into();
+        let out = self
+            .shard_for(&key)
             .lock()
-            .apply(policy, key, value.into(), now, ttl)
+            .apply(policy, key.clone(), value.clone(), now, ttl);
+        if out == SetOutcome::Stored {
+            self.tap_set(&key, &value, ttl);
+        }
+        out
     }
 
     /// Deletes a key; returns whether it existed. Removal and the
@@ -446,7 +527,62 @@ impl Store {
         if removed {
             sh.stats.deletes += 1;
         }
+        drop(sh);
+        if removed {
+            self.tap_delete(key);
+        }
         removed
+    }
+
+    /// Snapshot of live, unexpired items in approximate hottest-first
+    /// order, up to `max_items`.
+    ///
+    /// "Hottest-first" is per-shard LRU recency (most-recently-used first)
+    /// with the shards interleaved round-robin — the same
+    /// hottest-first-copy order the recovery model assumes for the warm-up
+    /// pump, to within shard granularity. Values are the raw stored bytes
+    /// (flag prefix included when written through the protocol); the third
+    /// element is the TTL remaining at `now`, if any. Each shard lock is
+    /// held only while that shard is walked.
+    pub fn hot_snapshot_at(&self, max_items: usize, now: u64) -> Vec<(Bytes, Bytes, Option<u64>)> {
+        let mut per_shard: Vec<Vec<(Bytes, Bytes, Option<u64>)>> =
+            Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            let sh = s.lock();
+            let mut items = Vec::new();
+            for key in sh.lru.iter() {
+                if items.len() >= max_items {
+                    break;
+                }
+                let Some(e) = sh.map.get(key) else { continue };
+                if e.expires_at.is_some_and(|t| t <= now) {
+                    continue;
+                }
+                let ttl = e.expires_at.map(|t| t - now);
+                items.push((key.clone(), e.value.clone(), ttl));
+            }
+            per_shard.push(items);
+        }
+        // Round-robin merge: the i-th hottest of every shard before any
+        // (i+1)-th, approximating global recency order.
+        let mut out = Vec::new();
+        let mut i = 0;
+        loop {
+            let mut any = false;
+            for items in &per_shard {
+                if let Some(item) = items.get(i) {
+                    if out.len() < max_items {
+                        out.push(item.clone());
+                    }
+                    any = true;
+                }
+            }
+            if !any || out.len() >= max_items {
+                break;
+            }
+            i += 1;
+        }
+        out
     }
 
     /// Whether a key is present (does not touch LRU order or stats).

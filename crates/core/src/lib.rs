@@ -15,13 +15,17 @@
 //! * [`simulation`] — 90-day hourly cost/violation simulation (Figures 7,
 //!   12, 13), and
 //! * [`prototype`] — per-minute single-day latency emulation (Figures 9,
-//!   10).
+//!   10), and
+//! * [`drill`] — the live warm-up pump replaying a backup's hot set into
+//!   a replacement server at a burstable-governed rate (Section 3.3,
+//!   Figure 4; driven by the `revocation_drill` bench bin).
 
 pub mod approaches;
 pub mod backup;
 pub mod cluster;
 pub mod controller;
 pub mod controlplane;
+pub mod drill;
 pub mod prototype;
 pub mod reactive;
 pub mod replication;
@@ -35,6 +39,7 @@ pub use controlplane::{
     cold_access_mass, hot_access_mass, ControlLoop, Demand, Observation, Schedule, Substrate,
     SubstrateEvent,
 };
+pub use drill::{pump_hot_set, WarmupConfig, WarmupReport};
 pub use prototype::{run_prototype, MinutePrototype, PrototypeConfig, PrototypeResult};
 pub use reactive::{ReactiveConfig, ReactiveController};
 pub use replication::{simulate_replication, ReplicationConfig, ReplicationResult};

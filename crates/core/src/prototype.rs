@@ -4,7 +4,7 @@
 //! replays a single day at per-minute resolution, sampling request
 //! latencies from the cluster's queueing model so average and tail latency
 //! time series can be compared across approaches. The shared
-//! [`ControlLoop`](crate::controlplane::ControlLoop) replans hourly and
+//! [`ControlLoop`] replans hourly and
 //! drives the [`MinutePrototype`] substrate's sixty per-minute steps
 //! between replans. Bid failures interrupt live nodes mid-day; the
 //! affected content then re-warms on the replacement node — organically

@@ -2,7 +2,7 @@
 //! approach — the engine behind the paper's Figures 7, 12 and 13.
 //!
 //! Granularity is one control slot (an hour). The shared
-//! [`ControlLoop`](crate::controlplane::ControlLoop) re-plans each hour
+//! [`ControlLoop`] re-plans each hour
 //! from the controller's forecasts and the spot predictors; the
 //! [`HourlySim`] substrate then replays the actual spot prices over the
 //! hour, billing every instance, detecting bid failures, and accounting

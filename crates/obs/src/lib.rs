@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Observability layer for spotcache: metrics registry, bounded event
 //! journal, sampled span tracing, windowed telemetry, and Prometheus/JSON
 //! snapshot exporters.

@@ -16,9 +16,12 @@
 //!   controller, failover on revocation, and write fan-out to passive
 //!   backups, and
 //! * [`levels`] — the footnote-3 generalization to more than two
-//!   popularity tiers.
+//!   popularity tiers, and
+//! * [`degraded`] — the revocation-time state machine that serves
+//!   stale-from-backup until the replacement is warmed (paper §3.3).
 
 pub mod balancer;
+pub mod degraded;
 pub mod epoch;
 pub mod hashring;
 pub mod hotreplica;
@@ -28,6 +31,7 @@ pub mod prefix;
 pub mod sketch;
 
 pub use balancer::{LoadBalancer, NodeWeights, Route};
+pub use degraded::{DegradedRouter, DrillPhase, ReadPlan, ServeCounts, ServeTarget};
 pub use epoch::{EpochSubscriber, WeightEpoch, WeightLedger};
 pub use hashring::{HashRing, NodeId};
 pub use hotreplica::HotReplicaSet;
