@@ -56,23 +56,41 @@ cargo run --release -q -p spotcache-bench --bin cache_loadgen -- --smoke --out "
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$lgtr" 2>/dev/null \
     || { echo "loadgen trace is not valid JSON"; exit 1; }
 
-echo "==> revocation drill smoke test (live replication + warm-up + link faults)"
+echo "==> checkpoint smoke test (cut -> corrupt-reject -> pristine restore)"
+cargo run --release -q -p spotcache-bench --bin ckpt_smoke \
+    | grep -q "checkpoint smoke OK"
+
+echo "==> revocation drill smoke test (all strategies + link faults)"
 dr="$(mktemp /tmp/revocation_drill.XXXXXX.json)"
 trap 'rm -f "$snap" "$lg" "$tr" "$lgtr" "$dr"' EXIT
-# The bin asserts the recovery ordering (warned <= warning window <
-# unwarned) and the link-fault healing itself; re-check the artifact's
-# schema and the headline invariants here so the gate does not rely on
-# the bin's asserts alone.
+# The bin asserts the recovery orderings (per-strategy warned <= warning
+# window, replay unwarned > warned, checkpoint beating replay) and the
+# link-fault healing itself; re-check the artifact's schema and the
+# headline invariants here so the gate does not rely on the bin's
+# asserts alone.
 cargo run --release -q -p spotcache-bench --bin revocation_drill -- --smoke --out "$dr" \
     | grep -q "revocation drill OK"
 python3 - "$dr" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "spotcache-drill-v1", doc.get("schema")
-for drill in ("with_warning", "no_warning"):
-    assert doc[drill]["recovery_windows"] is not None, f"{drill}: never recovered"
-assert doc["no_warning"]["recovery_s"] >= doc["with_warning"]["recovery_s"], \
-    "no-warning recovery should not beat with-warning recovery"
+assert doc["schema"] == "spotcache-drill-v2", doc.get("schema")
+warning_s = doc["warning_window_s"]
+for name in ("replay", "checkpoint", "hybrid"):
+    strat = doc["strategies"][name]
+    for drill in ("with_warning", "no_warning"):
+        d = strat[drill]
+        assert d["recovery_windows"] is not None, f"{name}/{drill}: never recovered"
+        assert d["restore_items"] > 0, f"{name}/{drill}: restore moved nothing"
+    assert strat["with_warning"]["recovery_s"] <= warning_s, \
+        f"{name}: warned recovery must fit the warning window"
+replay, ckpt = doc["strategies"]["replay"], doc["strategies"]["checkpoint"]
+assert replay["no_warning"]["recovery_s"] > replay["with_warning"]["recovery_s"], \
+    "unwarned replay should pay for the paced copy"
+assert ckpt["no_warning"]["recovery_s"] <= replay["no_warning"]["recovery_s"], \
+    "unwarned checkpoint recovery must not lose to unwarned replay"
+race = doc["full_set_restore"]
+assert race["checkpoint_s"] < race["replay_s"], \
+    "full-set checkpoint restore must beat replay-at-pump-rate"
 for fault in ("sever", "stall", "corrupt"):
     f = doc["link_faults"][fault]
     assert f["link_errors"] > 0 and f["healed"], f"link fault {fault}: not observed/healed"

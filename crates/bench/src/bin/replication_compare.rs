@@ -7,7 +7,7 @@
 
 use spotcache_bench::{dollars, heading, pct, print_table};
 use spotcache_cloud::tracegen::paper_traces;
-use spotcache_core::replication::{simulate_replication, ReplicationConfig};
+use spotcache_core::geo_baseline::{simulate_geo_baseline, GeoBaselineConfig};
 use spotcache_core::simulation::{simulate, SimConfig};
 use spotcache_core::Approach;
 
@@ -35,9 +35,9 @@ fn main() {
             format!("{} revocations", prop.revocations),
         ]);
         for k in [2usize, 3] {
-            let mut rep_cfg = ReplicationConfig::paper_default(k, rate, wss);
+            let mut rep_cfg = GeoBaselineConfig::paper_default(k, rate, wss);
             rep_cfg.days = days;
-            let rep = simulate_replication(&rep_cfg, &traces);
+            let rep = simulate_geo_baseline(&rep_cfg, &traces);
             rows.push(vec![
                 String::new(),
                 format!("Replication k={k}"),

@@ -1,33 +1,43 @@
 //! revocation_drill: fault-injected revocation drills between real cache
-//! servers (paper §3.3, Fig. 4).
+//! servers, across all three recovery strategies (paper §3.3, Fig. 4;
+//! ADR-003).
 //!
 //! Stands up a primary / backup / replacement trio of in-process
 //! [`CacheServer`]s wired the way the paper wires spot nodes to their
 //! burstable backups: the primary's hot-key mutations replicate through a
-//! fault-injectable proxy into the backup, and on revocation a warm-up
-//! pump replays the backup's hot set into the replacement while a
-//! [`DegradedRouter`] serves stale-from-backup. The drill then:
+//! fault-injectable proxy into the backup, and on revocation a
+//! [`RecoveryStrategy`] restores the replacement while a
+//! [`DegradedRouter`] (told the strategy's
+//! [`RecoveryMode`](spotcache_router::degraded::RecoveryMode)) picks
+//! serve targets. The drill then:
 //!
-//! 1. runs a **with-warning** revocation — the 2-minute notice (time
-//!    scaled) lets the pump pre-warm the replacement before the kill —
-//!    and a **no-warning** revocation where warming starts cold, and
-//!    records both hit-rate recovery curves;
-//! 2. drives the replication link through the **failure matrix** (sever,
+//! 1. runs a **with-warning** and a **no-warning** revocation for each of
+//!    the three strategies — **Replay** (paced hot-set pump), **Checkpoint**
+//!    (`spotcache-ckpt-v1` cut at the warning, bulk-loaded into the
+//!    replacement), and **Hybrid** (checkpoint restore plus
+//!    replication-tail top-up) — recording fresh / served / stale
+//!    hit-rate curves for every run;
+//! 2. races the two restore mechanisms head to head on the **full** hot
+//!    set: the pump at its burstable-governed rate versus a checkpoint
+//!    cut + restore, asserting the checkpoint path is faster;
+//! 3. drives the replication link through the **failure matrix** (sever,
 //!    stall, corrupt) mid-traffic, asserting the link never panics,
 //!    surfaces every fault as `repl_*` counters and drill spans, and
 //!    converges once healed;
-//! 3. compares the measured no-warning recovery against the Fig. 4
+//! 4. compares the measured no-warning Replay recovery against the Fig. 4
 //!    [`WarmupModel`] prediction.
 //!
-//! Results land in `BENCH_drill.json` (checked in; see docs/RUNBOOK.md
-//! for the field guide). Flags: `--smoke` (scaled-down CI run), `--out
-//! PATH`, `--seed N`, `--trace-out PATH` (Chrome trace with `drill` /
-//! `replication` spans).
+//! Results land in `BENCH_drill.json` (schema `spotcache-drill-v2`,
+//! checked in; see docs/RUNBOOK.md for the field guide). Flags: `--smoke`
+//! (scaled-down CI run), `--out PATH`, `--seed N`, `--trace-out PATH`
+//! (Chrome trace with `drill` / `replication` / `checkpoint` spans).
 //!
-//! Asserted invariants: steady-state mostly hits; the warned drill
+//! Asserted invariants: steady-state mostly hits; every warned drill
 //! recovers ≥90% of the steady fresh hit rate within the (scaled)
-//! warning window; the unwarned drill is measurably slower; every
-//! injected link fault is observed and healed.
+//! warning window; the unwarned Replay drill is measurably slower than
+//! its warned twin; unwarned Checkpoint recovery is no slower than
+//! unwarned Replay; the full-set checkpoint restore beats the full-set
+//! pump; every injected link fault is observed and healed.
 
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -39,12 +49,14 @@ use rand::SeedableRng;
 use spotcache_bench::faults::{FaultMode, FaultProxy};
 use spotcache_bench::heading;
 use spotcache_cache::protocol::serve;
-use spotcache_cache::replication::{ReplicationConfig, ReplicationQueue, Replicator};
+use spotcache_cache::replication::{Mutation, ReplicationConfig, ReplicationQueue, Replicator};
 use spotcache_cache::server::{CacheClient, CacheServer, LogicalClock};
 use spotcache_cache::store::{Store, StoreConfig};
-use spotcache_core::drill::{pump_hot_set, WarmupConfig, WarmupReport};
 use spotcache_obs::export::validate_json;
 use spotcache_obs::{Obs, Tracer, DEFAULT_TRACE_CAPACITY};
+use spotcache_recovery::checkpoint::{restore_checkpoint, write_checkpoint, CheckpointConfig};
+use spotcache_recovery::replay::{pump_hot_set, WarmupConfig};
+use spotcache_recovery::strategy::{RecoveryStrategy, RestoreContext, RestoreReport, TopUpConfig};
 use spotcache_router::degraded::{DegradedRouter, ServeTarget};
 use spotcache_sim::recovery::WarmupModel;
 use spotcache_workload::zipf::ScrambledZipfian;
@@ -135,6 +147,18 @@ impl Config {
             }
         }
     }
+
+    /// The three drilled strategies, in artifact order.
+    fn strategies(&self) -> Vec<RecoveryStrategy> {
+        vec![
+            RecoveryStrategy::Replay(self.pump.clone()),
+            RecoveryStrategy::Checkpoint(CheckpointConfig::default()),
+            RecoveryStrategy::Hybrid {
+                checkpoint: CheckpointConfig::default(),
+                top_up: TopUpConfig::default(),
+            },
+        ]
+    }
 }
 
 /// Lazily-connected clients for the three drill targets.
@@ -193,16 +217,26 @@ impl Targets {
     }
 }
 
-/// Per-window hit rates: `fresh` counts primary/replacement answers only;
-/// `served` adds stale-from-backup answers.
+/// Per-window hit rates: `fresh` counts primary/replacement answers,
+/// `stale` counts stale-from-backup answers; `fresh + stale` is the
+/// served (availability) rate.
 #[derive(Clone, Copy)]
 struct WindowSample {
     fresh: f64,
-    served: f64,
+    stale: f64,
+}
+
+impl WindowSample {
+    fn served(&self) -> f64 {
+        self.fresh + self.stale
+    }
 }
 
 /// Drives one window of Zipf reads through the router's current plan,
-/// write-through-refilling misses at the router's write target.
+/// write-through-refilling misses at the router's write target. Which
+/// target counts as fresh vs stale follows the answering target, not
+/// the plan order — so checkpoint-mode (stale-first) windows score
+/// exactly like replay-mode ones.
 fn drive_window(
     cfg: &Config,
     router: &DegradedRouter,
@@ -214,18 +248,22 @@ fn drive_window(
     let deadline = Instant::now() + cfg.window;
     let mut fresh = 0usize;
     let mut stale = 0usize;
+    let mut tally = |t: ServeTarget| match t {
+        ServeTarget::BackupStale => stale += 1,
+        _ => fresh += 1,
+    };
     for _ in 0..cfg.ops_per_window {
         let key = format!("h{}", zipf.sample(rng));
         let plan = router.read_plan();
         if targets.get(plan.first, &key).is_some() {
             router.note_served(Some(plan.first));
-            fresh += 1;
+            tally(plan.first);
             continue;
         }
         if let Some(fb) = plan.fallback {
             if targets.get(fb, &key).is_some() {
                 router.note_served(Some(fb));
-                stale += 1;
+                tally(fb);
                 continue;
             }
         }
@@ -240,16 +278,17 @@ fn drive_window(
     let n = cfg.ops_per_window as f64;
     WindowSample {
         fresh: fresh as f64 / n,
-        served: (fresh + stale) as f64 / n,
+        stale: stale as f64 / n,
     }
 }
 
 struct DrillResult {
+    strategy: &'static str,
     steady_fresh: f64,
     kill_window: usize,
     samples: Vec<WindowSample>,
     recovery_windows: Option<usize>,
-    pump: WarmupReport,
+    restore: RestoreReport,
     repl_shipped: u64,
     repl_errors: u64,
 }
@@ -261,11 +300,20 @@ impl DrillResult {
     }
 }
 
-/// One full drill: prefill → replicate → steady state → (warning) → kill
-/// → warm-up → recovery, all against live servers.
-fn run_drill(cfg: &Config, warned: bool, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -> DrillResult {
+/// One full drill: prefill → replicate → steady state → (warning, where
+/// Checkpoint/Hybrid cut their `spotcache-ckpt-v1` stream from the
+/// still-live primary) → kill → restore via `strategy` → recovery, all
+/// against live servers, with the router in the strategy's
+/// [`RecoveryMode`](spotcache_router::degraded::RecoveryMode).
+fn run_drill(
+    cfg: &Config,
+    strategy: &RecoveryStrategy,
+    warned: bool,
+    obs: &Arc<Obs>,
+    tracer: &Arc<Tracer>,
+) -> DrillResult {
     let label = if warned { "with-warning" } else { "no-warning" };
-    heading(&format!("revocation drill: {label}"));
+    heading(&format!("revocation drill: {} / {label}", strategy.name()));
 
     let store_cfg = StoreConfig {
         capacity_bytes: 64 << 20,
@@ -317,6 +365,7 @@ fn run_drill(cfg: &Config, warned: bool, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -
     );
 
     let router = DegradedRouter::new();
+    router.set_mode(strategy.mode());
     let mut targets = Targets::new(
         primary_srv.addr(),
         backup_srv.addr(),
@@ -341,25 +390,81 @@ fn run_drill(cfg: &Config, warned: bool, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -
         samples.iter().map(|s| s.fresh).sum::<f64>() / cfg.steady_windows.max(1) as f64;
     println!("steady-state fresh hit rate: {steady_fresh:.3}");
 
-    // The warm-up pump runs on its own thread; with a warning it starts
-    // the moment the notice lands, without one only after the kill.
-    let spawn_pump = |obs: Arc<Obs>, tracer: Arc<Tracer>| {
+    // The restore runs on its own thread through the strategy layer.
+    // `ckpt` is a stream pre-cut at the warning (None = cut inside the
+    // restore, from the backup); `tail` is the replication tail a Hybrid
+    // restore ships on top.
+    let spawn_restore = |ckpt: Option<Vec<u8>>, tail: Vec<Mutation>| {
+        let strategy = strategy.clone();
         let backup = Arc::clone(&backup);
-        let addr = replacement_srv.addr();
-        let pump_cfg = cfg.pump.clone();
+        let target_store = Arc::clone(&replacement);
+        let target_addr = replacement_srv.addr();
+        let obs = Arc::clone(obs);
+        let tracer = Arc::clone(tracer);
         std::thread::spawn(move || {
-            pump_hot_set(&backup, addr, 0, &pump_cfg, Some(&obs), Some(&tracer)).expect("pump")
+            let ctx = RestoreContext {
+                backup: &backup,
+                target_addr,
+                target_store: &target_store,
+                checkpoint: ckpt.as_deref(),
+                tail: &tail,
+                now: 0,
+                obs: Some(&obs),
+                tracer: Some(&tracer),
+            };
+            strategy.restore(&ctx).expect("restore")
         })
     };
-    let mut pump_handle = None;
+    let mut restore_handle = None;
+    // Hybrid bookkeeping: the checkpoint cut at the warning, and the tap
+    // that collects the post-cut mutation tail.
+    let mut precut: Option<Vec<u8>> = None;
+    let mut tail_queue: Option<Arc<ReplicationQueue>> = None;
 
     if warned {
         tracer.record_at("drill", "warning", tracer.now_us(), 0.0);
         router.on_warning();
         // Drain in-flight replication inside the warning window, then
-        // start pre-warming the replacement.
+        // arm the strategy.
         assert!(repl.flush(Duration::from_secs(5)), "warning-window drain");
-        pump_handle = Some(spawn_pump(Arc::clone(obs), Arc::clone(tracer)));
+        match strategy {
+            // Replay pre-warms the replacement for the whole warning.
+            RecoveryStrategy::Replay(_) => {
+                restore_handle = Some(spawn_restore(None, Vec::new()));
+            }
+            // Checkpoint burst-snapshots the primary's full state while
+            // it still lives, then bulk-loads it into the replacement.
+            RecoveryStrategy::Checkpoint(_) => {
+                let mut buf = Vec::new();
+                let cut = write_checkpoint(&primary, 0, &mut buf, Some(obs), Some(tracer))
+                    .expect("warning-window checkpoint cut");
+                println!(
+                    "checkpoint cut at warning: {} items, {} bytes in {:.3}s",
+                    cut.items,
+                    cut.bytes,
+                    cut.elapsed.as_secs_f64()
+                );
+                restore_handle = Some(spawn_restore(Some(buf), Vec::new()));
+            }
+            // Hybrid cuts the checkpoint and re-points the primary's tap
+            // at a fresh queue so everything mutated after the cut
+            // becomes the top-up tail, shipped at the kill.
+            RecoveryStrategy::Hybrid { .. } => {
+                let mut buf = Vec::new();
+                let cut = write_checkpoint(&primary, 0, &mut buf, Some(obs), Some(tracer))
+                    .expect("warning-window checkpoint cut");
+                println!(
+                    "checkpoint cut at warning: {} items, {} bytes in {:.3}s",
+                    cut.items,
+                    cut.bytes,
+                    cut.elapsed.as_secs_f64()
+                );
+                precut = Some(buf);
+                let tq = ReplicationQueue::new(65_536, Some(HOT_PREFIX.to_vec()));
+                primary.set_mutation_sink(Some(tq.clone()));
+                tail_queue = Some(tq);
+            }
+        }
         for _ in 0..cfg.warning_windows {
             samples.push(drive_window(
                 cfg,
@@ -378,11 +483,26 @@ fn run_drill(cfg: &Config, warned: bool, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -
     router.on_revoked();
     repl.stop(); // the source is gone; the stream dies with it
     let kill_window = samples.len();
-    if pump_handle.is_none() {
-        pump_handle = Some(spawn_pump(Arc::clone(obs), Arc::clone(tracer)));
+    if restore_handle.is_none() {
+        let tail = match strategy {
+            RecoveryStrategy::Hybrid { .. } => {
+                let mut tail = Vec::new();
+                match &tail_queue {
+                    // Warned: everything the primary wrote after the cut.
+                    Some(tq) => tq.drain_into(&mut tail, usize::MAX),
+                    // Unwarned: the undelivered backlog the dead stream
+                    // never shipped to the backup.
+                    None => queue.drain_into(&mut tail, usize::MAX),
+                }
+                println!("hybrid tail: {} mutations to top up", tail.len());
+                tail
+            }
+            _ => Vec::new(),
+        };
+        restore_handle = Some(spawn_restore(precut.take(), tail));
     }
 
-    let mut pump_report = None;
+    let mut restore_report = None;
     for _ in 0..cfg.observe_windows {
         samples.push(drive_window(
             cfg,
@@ -392,18 +512,24 @@ fn run_drill(cfg: &Config, warned: bool, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -
             &mut rng,
             &value,
         ));
-        if pump_handle.as_ref().is_some_and(|h| h.is_finished()) {
-            pump_report = Some(pump_handle.take().unwrap().join().expect("pump thread"));
+        if restore_handle.as_ref().is_some_and(|h| h.is_finished()) {
+            restore_report = Some(
+                restore_handle
+                    .take()
+                    .unwrap()
+                    .join()
+                    .expect("restore thread"),
+            );
             tracer.record_at("drill", "warmed", tracer.now_us(), 0.0);
             router.on_warmed();
         }
     }
-    let pump_report = pump_report.unwrap_or_else(|| {
-        pump_handle
+    let restore_report = restore_report.unwrap_or_else(|| {
+        restore_handle
             .take()
-            .expect("pump spawned")
+            .expect("restore spawned")
             .join()
-            .expect("pump thread")
+            .expect("restore thread")
     });
 
     // Recovery: first post-kill window whose fresh rate clears 90% of
@@ -416,12 +542,12 @@ fn run_drill(cfg: &Config, warned: bool, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -
         .map(|w| w + 1);
     let stats = repl.stats();
     println!(
-        "{label}: kill at window {kill_window}, recovery in {:?} windows \
-         (pump {} items in {:.2}s, {:.0} items/s)",
+        "{} / {label}: kill at window {kill_window}, recovery in {:?} windows \
+         ({} items restored in {:.3}s)",
+        strategy.name(),
         recovery_windows,
-        pump_report.items_pumped,
-        pump_report.elapsed.as_secs_f64(),
-        pump_report.achieved_rate
+        restore_report.items_restored,
+        restore_report.elapsed.as_secs_f64(),
     );
 
     proxy.stop();
@@ -432,14 +558,112 @@ fn run_drill(cfg: &Config, warned: bool, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -
     );
 
     DrillResult {
+        strategy: strategy.name(),
         steady_fresh,
         kill_window,
         samples,
         recovery_windows,
-        pump: pump_report,
+        restore: restore_report,
         repl_shipped: stats.shipped,
         repl_errors: stats.link_errors,
     }
+}
+
+/// Full-set restore race (the acceptance case for the checkpoint tier):
+/// the pump replaying the backup's whole hot set at its
+/// burstable-governed rate, versus a `spotcache-ckpt-v1` cut + bulk
+/// restore of the same state. Returns `(items, replay, ckpt_write,
+/// ckpt_restore)` timings.
+struct FullSetRace {
+    items: u64,
+    replay: Duration,
+    replay_rate: f64,
+    ckpt_write: Duration,
+    ckpt_restore: Duration,
+    ckpt_bytes: u64,
+}
+
+fn run_full_set_race(cfg: &Config, obs: &Arc<Obs>, tracer: &Arc<Tracer>) -> FullSetRace {
+    heading("full-set restore: replay-at-pump-rate vs checkpoint");
+    let store_cfg = StoreConfig {
+        capacity_bytes: 64 << 20,
+        shards: 8,
+    };
+    let backup = Arc::new(Store::new(store_cfg));
+    let value = "x".repeat(VALUE_LEN);
+    let mut prefill = Vec::new();
+    for k in 0..cfg.hot_keys {
+        prefill.extend_from_slice(format!("set h{k} 0 0 {VALUE_LEN}\r\n{value}\r\n").as_bytes());
+    }
+    let (_, consumed) = serve(&backup, &prefill, 0);
+    assert_eq!(consumed, prefill.len(), "prefill must parse cleanly");
+
+    // Replay leg: full set over the wire at the paced pump rate.
+    let replay_store = Arc::new(Store::new(store_cfg));
+    let replay_srv = CacheServer::start(
+        Arc::clone(&replay_store),
+        LogicalClock::new(),
+        "127.0.0.1:0",
+    )
+    .expect("replay target server");
+    let pump_cfg = WarmupConfig {
+        max_items: cfg.hot_keys as usize,
+        ..cfg.pump.clone()
+    };
+    let report = pump_hot_set(
+        &backup,
+        replay_srv.addr(),
+        0,
+        &pump_cfg,
+        Some(obs),
+        Some(tracer),
+    )
+    .expect("full-set pump");
+    assert_eq!(
+        report.items_pumped as u64, cfg.hot_keys,
+        "pump must move the whole set"
+    );
+
+    // Checkpoint leg: cut + bulk restore of the same full state.
+    let ckpt_store = Store::new(store_cfg);
+    let mut buf = Vec::new();
+    let wrote = write_checkpoint(&backup, 0, &mut buf, Some(obs), Some(tracer))
+        .expect("full-set checkpoint write");
+    let restored = restore_checkpoint(
+        &mut buf.as_slice(),
+        &ckpt_store,
+        0,
+        &CheckpointConfig::default(),
+        Some(obs),
+        Some(tracer),
+    )
+    .expect("full-set checkpoint restore");
+    assert_eq!(wrote.items, cfg.hot_keys, "checkpoint must hold the set");
+    assert_eq!(
+        restored.items_stored, cfg.hot_keys,
+        "restore must land the whole set"
+    );
+
+    let race = FullSetRace {
+        items: cfg.hot_keys,
+        replay: report.elapsed,
+        replay_rate: report.achieved_rate,
+        ckpt_write: wrote.elapsed,
+        ckpt_restore: restored.elapsed,
+        ckpt_bytes: wrote.bytes,
+    };
+    println!(
+        "full set ({} items): replay {:.3}s at {:.0} items/s; checkpoint {:.4}s \
+         (write {:.4}s + restore {:.4}s, {} bytes)",
+        race.items,
+        race.replay.as_secs_f64(),
+        race.replay_rate,
+        (race.ckpt_write + race.ckpt_restore).as_secs_f64(),
+        race.ckpt_write.as_secs_f64(),
+        race.ckpt_restore.as_secs_f64(),
+        race.ckpt_bytes,
+    );
+    race
 }
 
 struct LinkFaultOutcome {
@@ -521,7 +745,7 @@ fn run_link_faults(obs: &Arc<Obs>, tracer: &Arc<Tracer>) -> Vec<LinkFaultOutcome
 
 /// Fig. 4 model prediction: seconds until warm mass reaches the recovery
 /// threshold, with the pump copying hottest-first and misses refilling
-/// organically — the same two processes the live drill runs.
+/// organically — the same two processes the live Replay drill runs.
 fn model_recovery_secs(cfg: &Config) -> f64 {
     let mut model = WarmupModel::new(cfg.hot_keys as f64, 1.0, THETA, 64);
     let read_rate = cfg.ops_per_window as f64 / cfg.window.as_secs_f64();
@@ -541,83 +765,175 @@ fn curve_json(samples: &[WindowSample], pick: impl Fn(&WindowSample) -> f64) -> 
 }
 
 fn drill_json(r: &DrillResult, cfg: &Config) -> String {
+    let pump = r.restore.pump.as_ref().map_or("null".into(), |p| {
+        format!(
+            "{{\"items\":{},\"elapsed_s\":{:.3},\"rate_items_per_s\":{:.1},\"io_errors\":{}}}",
+            p.items_pumped,
+            p.elapsed.as_secs_f64(),
+            p.achieved_rate,
+            p.io_errors
+        )
+    });
+    let ckpt = r.restore.ckpt.as_ref().map_or("null".into(), |c| {
+        format!(
+            "{{\"items\":{},\"bytes\":{},\"elapsed_s\":{:.4}}}",
+            c.items_stored,
+            c.bytes,
+            c.elapsed.as_secs_f64()
+        )
+    });
+    let ckpt_cut = r.restore.ckpt_cut.as_ref().map_or("null".into(), |c| {
+        format!(
+            "{{\"items\":{},\"bytes\":{},\"elapsed_s\":{:.4}}}",
+            c.items,
+            c.bytes,
+            c.elapsed.as_secs_f64()
+        )
+    });
     format!(
-        "{{\"steady_fresh_rate\":{:.4},\"kill_window\":{},\"recovery_windows\":{},\
-         \"recovery_s\":{},\"pump_items\":{},\"pump_elapsed_s\":{:.3},\
-         \"pump_rate_items_per_s\":{:.1},\"pump_io_errors\":{},\
+        "{{\"strategy\":\"{}\",\"steady_fresh_rate\":{:.4},\"kill_window\":{},\
+         \"recovery_windows\":{},\"recovery_s\":{},\
+         \"restore_items\":{},\"restore_elapsed_s\":{:.4},\"topped_up\":{},\
+         \"pump\":{},\"ckpt\":{},\"ckpt_cut\":{},\
          \"repl_shipped\":{},\"repl_link_errors\":{},\
-         \"fresh\":{},\"served\":{}}}",
+         \"fresh\":{},\"served\":{},\"stale\":{}}}",
+        r.strategy,
         r.steady_fresh,
         r.kill_window,
         r.recovery_windows.map_or("null".into(), |w| w.to_string()),
         r.recovery_secs(cfg.window)
             .map_or("null".into(), |s| format!("{s:.3}")),
-        r.pump.items_pumped,
-        r.pump.elapsed.as_secs_f64(),
-        r.pump.achieved_rate,
-        r.pump.io_errors,
+        r.restore.items_restored,
+        r.restore.elapsed.as_secs_f64(),
+        r.restore.topped_up,
+        pump,
+        ckpt,
+        ckpt_cut,
         r.repl_shipped,
         r.repl_errors,
         curve_json(&r.samples, |s| s.fresh),
-        curve_json(&r.samples, |s| s.served),
+        curve_json(&r.samples, |s| s.served()),
+        curve_json(&r.samples, |s| s.stale),
     )
 }
 
 fn main() {
     let cfg = Config::from_args();
-    heading("Revocation drill");
+    heading("Revocation drill (all recovery strategies)");
     let obs = Arc::new(Obs::new());
     let tracer = Tracer::all(DEFAULT_TRACE_CAPACITY);
 
-    let warned = run_drill(&cfg, true, &obs, &tracer);
-    let unwarned = run_drill(&cfg, false, &obs, &tracer);
+    // 3 strategies × {with, without} the 2-minute warning, every run
+    // driving the DegradedRouter through its full phase machine.
+    let mut results: Vec<(DrillResult, DrillResult)> = Vec::new();
+    for strategy in cfg.strategies() {
+        let warned = run_drill(&cfg, &strategy, true, &obs, &tracer);
+        let unwarned = run_drill(&cfg, &strategy, false, &obs, &tracer);
+        results.push((warned, unwarned));
+    }
+    let race = run_full_set_race(&cfg, &obs, &tracer);
     let faults = run_link_faults(&obs, &tracer);
     let model_s = model_recovery_secs(&cfg);
 
     let warning_s = cfg.warning_windows as f64 * cfg.window.as_secs_f64();
-    let warned_s = warned
-        .recovery_secs(cfg.window)
-        .expect("warned drill must recover within the observation period");
-    let unwarned_s = unwarned
-        .recovery_secs(cfg.window)
-        .expect("unwarned drill must recover within the observation period");
-    println!(
-        "\nrecovery to {:.0}% of steady state: warned {warned_s:.2}s, \
-         unwarned {unwarned_s:.2}s, Fig.4 model (no warning) {model_s:.2}s",
-        RECOVERY_FRACTION * 100.0
-    );
+    let recovery = |r: &DrillResult, label: &str| -> f64 {
+        r.recovery_secs(cfg.window).unwrap_or_else(|| {
+            panic!(
+                "{} {label} drill must recover within the observation period",
+                r.strategy
+            )
+        })
+    };
+    println!();
+    for (warned, unwarned) in &results {
+        let w = recovery(warned, "warned");
+        let u = recovery(unwarned, "unwarned");
+        println!(
+            "{}: recovery to {:.0}% of steady state: warned {w:.2}s, unwarned {u:.2}s",
+            warned.strategy,
+            RECOVERY_FRACTION * 100.0
+        );
+        obs.gauge(&format!("drill_{}_warned_recovery_s", warned.strategy))
+            .set(w);
+        obs.gauge(&format!("drill_{}_unwarned_recovery_s", warned.strategy))
+            .set(u);
 
+        // Invariants that hold for every strategy.
+        assert!(
+            warned.steady_fresh >= 0.8 && unwarned.steady_fresh >= 0.8,
+            "{}: steady state must mostly hit, got {:.3}/{:.3}",
+            warned.strategy,
+            warned.steady_fresh,
+            unwarned.steady_fresh
+        );
+        assert!(
+            w <= warning_s,
+            "{}: warned recovery ({w:.2}s) must fit the warning window ({warning_s:.2}s)",
+            warned.strategy
+        );
+    }
+    println!("Fig.4 model (no warning, replay): {model_s:.2}s");
+
+    let (replay_w, replay_u) = (&results[0].0, &results[0].1);
+    let replay_warned_s = recovery(replay_w, "warned");
+    let replay_unwarned_s = recovery(replay_u, "unwarned");
+    let ckpt_unwarned_s = recovery(&results[1].1, "unwarned");
+
+    // v1-compatible summary gauges (replay is the paper's §3.3 path).
     obs.gauge("drill_steady_fresh_rate")
-        .set(warned.steady_fresh);
-    obs.gauge("drill_warned_recovery_s").set(warned_s);
-    obs.gauge("drill_unwarned_recovery_s").set(unwarned_s);
+        .set(replay_w.steady_fresh);
+    obs.gauge("drill_warned_recovery_s").set(replay_warned_s);
+    obs.gauge("drill_unwarned_recovery_s")
+        .set(replay_unwarned_s);
     obs.gauge("drill_model_recovery_s").set(model_s);
     obs.gauge("drill_warning_window_s").set(warning_s);
+    obs.gauge("drill_full_set_replay_s")
+        .set(race.replay.as_secs_f64());
+    obs.gauge("drill_full_set_checkpoint_s")
+        .set((race.ckpt_write + race.ckpt_restore).as_secs_f64());
 
-    // The paper's claim, asserted live: a warned revocation hides nearly
-    // the whole outage inside the warning window; an unwarned one pays
-    // the copy time in degraded service.
+    // The paper's claim, asserted live: a warned Replay revocation hides
+    // nearly the whole outage inside the warning window; an unwarned one
+    // pays the paced copy time in degraded service.
     assert!(
-        warned.steady_fresh >= 0.8,
-        "steady state must mostly hit, got {:.3}",
-        warned.steady_fresh
+        replay_unwarned_s >= replay_warned_s + 2.0 * cfg.window.as_secs_f64(),
+        "no-warning replay recovery ({replay_unwarned_s:.2}s) must be measurably slower \
+         than warned ({replay_warned_s:.2}s)"
     );
+    // ADR-003's claim, asserted live: bulk-loading full state beats
+    // replaying it at the pump rate.
     assert!(
-        warned_s <= warning_s,
-        "with a warning, recovery ({warned_s:.2}s) must fit the warning window ({warning_s:.2}s)"
+        ckpt_unwarned_s <= replay_unwarned_s,
+        "unwarned checkpoint recovery ({ckpt_unwarned_s:.2}s) must not lose to \
+         unwarned replay ({replay_unwarned_s:.2}s)"
     );
+    let ckpt_total = race.ckpt_write + race.ckpt_restore;
     assert!(
-        unwarned_s >= warned_s + 2.0 * cfg.window.as_secs_f64(),
-        "no-warning recovery ({unwarned_s:.2}s) must be measurably slower than warned ({warned_s:.2}s)"
+        ckpt_total < race.replay,
+        "full-set checkpoint ({:.3}s) must beat replay-at-pump-rate ({:.3}s)",
+        ckpt_total.as_secs_f64(),
+        race.replay.as_secs_f64()
     );
     if !cfg.smoke {
-        let ratio = unwarned_s / model_s.max(1e-9);
+        let ratio = replay_unwarned_s / model_s.max(1e-9);
         assert!(
             (1.0 / 6.0..=6.0).contains(&ratio),
-            "no-warning recovery {unwarned_s:.2}s strays from Fig.4 model {model_s:.2}s (x{ratio:.2})"
+            "no-warning replay recovery {replay_unwarned_s:.2}s strays from Fig.4 \
+             model {model_s:.2}s (x{ratio:.2})"
         );
     }
 
+    let strategy_cells: Vec<String> = results
+        .iter()
+        .map(|(w, u)| {
+            format!(
+                "\"{}\":{{\"with_warning\":{},\"no_warning\":{}}}",
+                w.strategy,
+                drill_json(w, &cfg),
+                drill_json(u, &cfg)
+            )
+        })
+        .collect();
     let fault_cells: Vec<String> = faults
         .iter()
         .map(|f| {
@@ -627,11 +943,24 @@ fn main() {
             )
         })
         .collect();
+    let race_json = format!(
+        "{{\"items\":{},\"replay_s\":{:.3},\"replay_rate_items_per_s\":{:.1},\
+         \"checkpoint_write_s\":{:.4},\"checkpoint_restore_s\":{:.4},\
+         \"checkpoint_s\":{:.4},\"checkpoint_bytes\":{},\"speedup\":{:.1}}}",
+        race.items,
+        race.replay.as_secs_f64(),
+        race.replay_rate,
+        race.ckpt_write.as_secs_f64(),
+        race.ckpt_restore.as_secs_f64(),
+        ckpt_total.as_secs_f64(),
+        race.ckpt_bytes,
+        race.replay.as_secs_f64() / ckpt_total.as_secs_f64().max(1e-9),
+    );
     let json = format!(
-        "{{\"schema\":\"spotcache-drill-v1\",\"smoke\":{},\"seed\":{},\
+        "{{\"schema\":\"spotcache-drill-v2\",\"smoke\":{},\"seed\":{},\
          \"window_s\":{:.3},\"warning_window_s\":{:.3},\"hot_keys\":{},\
          \"pump_base_rate\":{:.1},\"model_recovery_s\":{:.3},\
-         \"with_warning\":{},\"no_warning\":{},\"link_faults\":{{{}}},\
+         \"strategies\":{{{}}},\"full_set_restore\":{},\"link_faults\":{{{}}},\
          \"obs\":{}}}",
         cfg.smoke,
         cfg.seed,
@@ -640,8 +969,8 @@ fn main() {
         cfg.hot_keys,
         cfg.pump.base_rate,
         model_s,
-        drill_json(&warned, &cfg),
-        drill_json(&unwarned, &cfg),
+        strategy_cells.join(","),
+        race_json,
         fault_cells.join(","),
         obs.json_snapshot(),
     );
@@ -653,7 +982,7 @@ fn main() {
         let trace = tracer.chrome_trace_json();
         validate_json(&trace).unwrap_or_else(|at| panic!("trace JSON invalid at byte {at}"));
         let cats = tracer.categories();
-        for layer in ["drill", "replication"] {
+        for layer in ["drill", "replication", "checkpoint"] {
             assert!(
                 cats.contains(&layer),
                 "trace missing {layer} spans: {cats:?}"

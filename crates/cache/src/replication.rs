@@ -2,8 +2,10 @@
 //!
 //! The paper's robustness story (§3.3) keeps a cheap burstable *backup*
 //! holding every hot item that lives on revocable spot nodes. This module
-//! is the live counterpart of the simulated stream in
-//! `spotcache_core::replication`: a source [`Store`] tails its hot-key
+//! is the streaming leg of the unified recovery layer (re-exported as
+//! `spotcache_recovery::stream`; the simulated geo-replication baseline
+//! lives separately in `spotcache_core::geo_baseline`): a source
+//! [`Store`] tails its hot-key
 //! mutations through a [`MutationSink`] tap into a bounded
 //! [`ReplicationQueue`], and a [`Replicator`] thread ships them to a real
 //! backup server as memcached `set`/`delete` commands over TCP.
@@ -338,7 +340,7 @@ fn read_acks(stream: &mut TcpStream, expected: usize, buf: &mut Vec<u8>) -> std:
 /// `stream`, and validates every ack line (using `ack_buf` as scratch).
 ///
 /// Shared by the replication shipper and the warm-up pump
-/// (`spotcache_core::drill`): both move store contents over the wire as
+/// (`spotcache_recovery::replay`): both move store contents over the wire as
 /// acked memcached commands, so a corrupt or truncated link surfaces as
 /// an `Err` instead of silent divergence.
 pub fn ship_batch(

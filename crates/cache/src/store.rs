@@ -544,14 +544,34 @@ impl Store {
     /// (flag prefix included when written through the protocol); the third
     /// element is the TTL remaining at `now`, if any. Each shard lock is
     /// held only while that shard is walked.
+    ///
+    /// Per-shard collection is capped by what the round-robin merge can
+    /// actually take (computed from a cheap length pre-pass), so a call
+    /// with a tight budget clones ~`max_items` entries total instead of up
+    /// to `shards × max_items`; the merge then *moves* the collected items
+    /// into the output. When expired-but-unreaped items inflate a shard's
+    /// length the caps are approximate and the result may fall slightly
+    /// short of `max_items` even though deeper live items exist — within
+    /// the "approximate hottest-first" contract.
     pub fn hot_snapshot_at(&self, max_items: usize, now: u64) -> Vec<(Bytes, Bytes, Option<u64>)> {
-        let mut per_shard: Vec<Vec<(Bytes, Bytes, Option<u64>)>> =
+        if max_items == 0 {
+            return Vec::new();
+        }
+        // Length pre-pass: an upper bound on each shard's live items.
+        let lens: Vec<usize> = self.shards.iter().map(|s| s.lock().map.len()).collect();
+        let quotas = round_robin_quotas(&lens, max_items);
+        let mut per_shard: Vec<std::vec::IntoIter<(Bytes, Bytes, Option<u64>)>> =
             Vec::with_capacity(self.shards.len());
-        for s in &self.shards {
+        let mut collected_total = 0usize;
+        for (s, &quota) in self.shards.iter().zip(&quotas) {
+            if quota == 0 {
+                per_shard.push(Vec::new().into_iter());
+                continue;
+            }
             let sh = s.lock();
-            let mut items = Vec::new();
+            let mut items = Vec::with_capacity(quota.min(sh.map.len()));
             for key in sh.lru.iter() {
-                if items.len() >= max_items {
+                if items.len() >= quota {
                     break;
                 }
                 let Some(e) = sh.map.get(key) else { continue };
@@ -561,28 +581,59 @@ impl Store {
                 let ttl = e.expires_at.map(|t| t - now);
                 items.push((key.clone(), e.value.clone(), ttl));
             }
-            per_shard.push(items);
+            collected_total += items.len();
+            per_shard.push(items.into_iter());
         }
         // Round-robin merge: the i-th hottest of every shard before any
-        // (i+1)-th, approximating global recency order.
-        let mut out = Vec::new();
-        let mut i = 0;
-        loop {
+        // (i+1)-th, approximating global recency order. Items are moved
+        // out of the per-shard vectors, not re-cloned.
+        let mut out = Vec::with_capacity(collected_total.min(max_items));
+        while out.len() < max_items {
             let mut any = false;
-            for items in &per_shard {
-                if let Some(item) = items.get(i) {
+            for items in per_shard.iter_mut() {
+                if let Some(item) = items.next() {
                     if out.len() < max_items {
-                        out.push(item.clone());
+                        out.push(item);
                     }
                     any = true;
                 }
             }
-            if !any || out.len() >= max_items {
+            if !any {
                 break;
             }
-            i += 1;
         }
         out
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot of one shard's live, unexpired items in LRU recency order
+    /// (most-recently-used first), holding only that shard's lock.
+    ///
+    /// This is the checkpoint writer's walk (`spotcache-recovery`): full
+    /// shard state, one framed shard at a time, so peak memory during a
+    /// checkpoint is one shard's items rather than the whole store. The
+    /// TTL is the remaining TTL at `now`, exactly as
+    /// [`hot_snapshot_at`](Self::hot_snapshot_at) reports it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn shard_snapshot_at(&self, shard: usize, now: u64) -> Vec<(Bytes, Bytes, Option<u64>)> {
+        let sh = self.shards[shard].lock();
+        let mut items = Vec::with_capacity(sh.map.len());
+        for key in sh.lru.iter() {
+            let Some(e) = sh.map.get(key) else { continue };
+            if e.expires_at.is_some_and(|t| t <= now) {
+                continue;
+            }
+            let ttl = e.expires_at.map(|t| t - now);
+            items.push((key.clone(), e.value.clone(), ttl));
+        }
+        items
     }
 
     /// Whether a key is present (does not touch LRU order or stats).
@@ -638,6 +689,37 @@ impl Store {
             s.lock().clear();
         }
     }
+}
+
+/// Per-shard collection caps for [`Store::hot_snapshot_at`]: simulates
+/// the round-robin merge over the shard lengths and returns how many
+/// items the merge would actually take from each shard, so collection
+/// clones only what the merge keeps. Quotas sum to
+/// `min(budget, sum(lens))`.
+fn round_robin_quotas(lens: &[usize], budget: usize) -> Vec<usize> {
+    let total: usize = lens.iter().sum();
+    if total <= budget {
+        return lens.to_vec();
+    }
+    let mut quotas = vec![0usize; lens.len()];
+    let mut remaining = budget;
+    while remaining > 0 {
+        let mut any = false;
+        for (q, &len) in quotas.iter_mut().zip(lens) {
+            if *q < len {
+                *q += 1;
+                remaining -= 1;
+                any = true;
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    quotas
 }
 
 impl std::fmt::Debug for Store {

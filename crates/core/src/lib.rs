@@ -16,9 +16,13 @@
 //!   12, 13), and
 //! * [`prototype`] — per-minute single-day latency emulation (Figures 9,
 //!   10), and
-//! * [`drill`] — the live warm-up pump replaying a backup's hot set into
-//!   a replacement server at a burstable-governed rate (Section 3.3,
-//!   Figure 4; driven by the `revocation_drill` bench bin).
+//! * [`geo_baseline`] — the active geo-replication simulation baseline
+//!   (Xu et al., the paper's reference \[50\]).
+//!
+//! The live warm-up pump that used to live here as `core::drill` moved
+//! to `spotcache_recovery::replay`, the Replay arm of the unified
+//! recovery layer; [`drill`] and [`replication`] are deprecated alias
+//! modules kept for one release.
 
 pub mod approaches;
 pub mod backup;
@@ -26,6 +30,7 @@ pub mod cluster;
 pub mod controller;
 pub mod controlplane;
 pub mod drill;
+pub mod geo_baseline;
 pub mod prototype;
 pub mod reactive;
 pub mod replication;
@@ -39,8 +44,13 @@ pub use controlplane::{
     cold_access_mass, hot_access_mass, ControlLoop, Demand, Observation, Schedule, Substrate,
     SubstrateEvent,
 };
-pub use drill::{pump_hot_set, WarmupConfig, WarmupReport};
+pub use geo_baseline::{simulate_geo_baseline, GeoBaselineConfig, GeoBaselineResult};
 pub use prototype::{run_prototype, MinutePrototype, PrototypeConfig, PrototypeResult};
 pub use reactive::{ReactiveConfig, ReactiveController};
+// Deprecated compat re-exports (one release): the pump now lives in
+// `spotcache_recovery::replay`, the geo baseline in `geo_baseline`.
+#[allow(deprecated)]
+pub use drill::{pump_hot_set, WarmupConfig, WarmupReport};
+#[allow(deprecated)]
 pub use replication::{simulate_replication, ReplicationConfig, ReplicationResult};
 pub use simulation::{simulate, FlashCrowd, HourlySim, SimConfig, SimResult};

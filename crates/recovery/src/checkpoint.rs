@@ -1,0 +1,736 @@
+//! The `spotcache-ckpt-v1` checkpoint codec: streaming, slab-class-aware
+//! full-state snapshots for revocation recovery.
+//!
+//! Replaying the backup's hot set (the [`replay`](crate::replay) pump)
+//! repairs a replacement one acked memcached `set` at a time, paced by
+//! burstable credits. The checkpoint tier takes the complementary path
+//! the spot literature favors (ADR-003): on the 2-minute revocation
+//! warning, burst-snapshot **full** shard state into a compact binary
+//! stream, then restore the replacement by bulk-loading the stream —
+//! one shard-lock acquisition per batch instead of one round trip per
+//! item. The `revocation_drill` bench bin measures which side of that
+//! trade wins for a given working-set size.
+//!
+//! # Wire format (`spotcache-ckpt-v1`)
+//!
+//! All integers are little-endian. The stream is written and read
+//! strictly front to back — no seeking — so it can go straight to a
+//! socket, a pipe, or local disk.
+//!
+//! ```text
+//! header   := magic "SPCKPT" | version u16 (=1) | flags u32 (=0)
+//!           | shard_count u32 | snapshot_now u64
+//! shard    := magic "SHRD" | shard_idx u32 | record_count u64
+//!           | payload_len u64 | payload | crc32(payload) u32
+//! record   := key_len u32 | val_len u32 | slab_class u16
+//!           | ttl u64 | key bytes | value bytes        (inside payload)
+//! trailer  := magic "CKPT_END" | item_count u64
+//! ```
+//!
+//! * Records inside a shard payload are in LRU recency order (hottest
+//!   first), the same order the replay pump ships — a reader that stops
+//!   early still holds the hottest prefix of every framed shard.
+//! * `slab_class` is the index in [`SlabClasses::default_ladder`] that
+//!   the item (key + value + [`ITEM_OVERHEAD`]) lands in, or
+//!   [`NO_SLAB_CLASS`] for oversized items; it is advisory sizing
+//!   metadata (per-class histograms in the reports), not required for
+//!   decoding.
+//! * `ttl` is the TTL *remaining at snapshot time*, or [`NO_TTL`] for
+//!   items with no expiry. On restore, TTLs are re-based against the
+//!   restorer's `now`, so a checkpoint is position-independent in time.
+//! * Each shard payload carries its own CRC32 (IEEE); the restorer
+//!   verifies the CRC **before** applying any record from the frame, so
+//!   a corrupted frame can never half-apply.
+//! * The trailer cross-checks the total record count; a truncated file
+//!   fails with [`CkptError::Truncated`] rather than loading silently
+//!   short.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use spotcache_cache::slab::SlabClasses;
+use spotcache_cache::store::{Store, ITEM_OVERHEAD};
+use spotcache_obs::{Obs, Tracer};
+
+/// Checkpoint stream magic, first bytes of the header.
+pub const MAGIC: &[u8; 6] = b"SPCKPT";
+/// Per-shard frame magic.
+pub const SHARD_MAGIC: &[u8; 4] = b"SHRD";
+/// Trailer magic.
+pub const TRAILER_MAGIC: &[u8; 8] = b"CKPT_END";
+/// Format version written and accepted by this codec.
+pub const VERSION: u16 = 1;
+/// `slab_class` sentinel for items too large for any slab class.
+pub const NO_SLAB_CLASS: u16 = u16::MAX;
+/// `ttl` sentinel for items with no expiry.
+pub const NO_TTL: u64 = u64::MAX;
+
+/// Decode/IO failures. Every corrupt-input path surfaces as a clean
+/// error — the codec never panics on untrusted bytes, and the restorer
+/// never applies records from a frame that failed validation.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying reader/writer error.
+    Io(io::Error),
+    /// Stream or shard-frame magic did not match.
+    BadMagic,
+    /// Header version is not [`VERSION`].
+    BadVersion(u16),
+    /// A frame header is self-inconsistent (e.g. payload shorter than
+    /// its declared records, or a record overruns the payload).
+    BadFrame(&'static str),
+    /// A shard payload's CRC32 did not match; nothing from the frame
+    /// was applied.
+    CrcMismatch {
+        /// Shard index from the frame header.
+        shard: u32,
+        /// CRC declared in the stream.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// The stream ended before the declared structure was complete.
+    Truncated,
+    /// The trailer's item count disagreed with the records decoded.
+    CountMismatch {
+        /// Count declared in the trailer.
+        declared: u64,
+        /// Records actually decoded.
+        decoded: u64,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::BadMagic => write!(f, "not a spotcache-ckpt-v1 stream (bad magic)"),
+            CkptError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {VERSION})")
+            }
+            CkptError::BadFrame(why) => write!(f, "malformed checkpoint frame: {why}"),
+            CkptError::CrcMismatch {
+                shard,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shard {shard} payload CRC mismatch (declared {expected:#010x}, computed {actual:#010x})"
+            ),
+            CkptError::Truncated => write!(f, "checkpoint stream truncated"),
+            CkptError::CountMismatch { declared, decoded } => write!(
+                f,
+                "trailer declares {declared} items but {decoded} were decoded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> Self {
+        // A reader that runs dry mid-structure is a truncation, not a
+        // generic I/O failure — callers branch on this.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CkptError::Truncated
+        } else {
+            CkptError::Io(e)
+        }
+    }
+}
+
+impl From<CkptError> for io::Error {
+    fn from(e: CkptError) -> Self {
+        match e {
+            CkptError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected) over `bytes` — the same polynomial
+/// zlib and memcached's binary protocol use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Knobs for checkpoint restore.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Items per [`Store::set_many_at`] bulk-load batch on restore.
+    /// Bounds how long each shard lock is held during the load.
+    pub restore_batch: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self { restore_batch: 512 }
+    }
+}
+
+/// What a checkpoint write accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptWriteReport {
+    /// Shards framed.
+    pub shards: u32,
+    /// Records written across all shards.
+    pub items: u64,
+    /// Total stream size, bytes (header + frames + trailer).
+    pub bytes: u64,
+    /// Records per slab class (index = class in the default ladder;
+    /// the final slot counts oversized / classless items).
+    pub per_class: Vec<u64>,
+    /// Wall-clock duration of the write.
+    pub elapsed: Duration,
+}
+
+/// What a checkpoint restore accomplished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptRestoreReport {
+    /// Shard frames decoded.
+    pub shards: u32,
+    /// Records decoded from the stream.
+    pub items_decoded: u64,
+    /// Records accepted by the target store (an item is rejected only
+    /// when it exceeds its shard budget).
+    pub items_stored: u64,
+    /// Stream bytes consumed.
+    pub bytes: u64,
+    /// Records per slab class, as declared in the stream.
+    pub per_class: Vec<u64>,
+    /// Wall-clock duration of the restore.
+    pub elapsed: Duration,
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Snapshots `store`'s full live state at `now` into `out` as a
+/// `spotcache-ckpt-v1` stream, one shard frame at a time.
+///
+/// Peak memory is one shard's encoded payload, not the whole store: the
+/// writer takes [`Store::shard_snapshot_at`] per shard, encodes it,
+/// flushes the frame, and drops it before locking the next shard. The
+/// store stays live throughout — each shard lock is held only for its
+/// snapshot walk, so a checkpoint cut during the revocation warning
+/// does not stall the write path.
+///
+/// With `obs`, progress surfaces as `ckpt_items_written_total` and
+/// `ckpt_bytes_written_total`; with `tracer`, each shard frame is a
+/// `checkpoint`-category `write_shard` span.
+pub fn write_checkpoint(
+    store: &Store,
+    now: u64,
+    out: &mut impl Write,
+    obs: Option<&Obs>,
+    tracer: Option<&Tracer>,
+) -> Result<CkptWriteReport, CkptError> {
+    let start = Instant::now();
+    let classes = SlabClasses::default_ladder();
+    let mut per_class = vec![0u64; classes.count() + 1];
+    let shards = store.shard_count() as u32;
+
+    let mut header = Vec::with_capacity(24);
+    header.extend_from_slice(MAGIC);
+    put_u16(&mut header, VERSION);
+    put_u32(&mut header, 0); // flags
+    put_u32(&mut header, shards);
+    put_u64(&mut header, now);
+    out.write_all(&header)?;
+    let mut total_bytes = header.len() as u64;
+    let mut total_items = 0u64;
+
+    let c_items = obs.map(|o| o.counter("ckpt_items_written_total"));
+    let c_bytes = obs.map(|o| o.counter("ckpt_bytes_written_total"));
+    if let Some(c) = &c_bytes {
+        c.add(header.len() as u64);
+    }
+
+    let mut payload = Vec::new();
+    let mut frame = Vec::new();
+    for shard in 0..store.shard_count() {
+        let span = tracer.map(|t| t.span("checkpoint", "write_shard"));
+        let items = store.shard_snapshot_at(shard, now);
+        payload.clear();
+        for (key, value, ttl) in &items {
+            let class = classes
+                .class_for(key.len() + value.len() + ITEM_OVERHEAD)
+                .map_or(NO_SLAB_CLASS, |c| c as u16);
+            let slot = if class == NO_SLAB_CLASS {
+                per_class.len() - 1
+            } else {
+                class as usize
+            };
+            per_class[slot] += 1;
+            put_u32(&mut payload, key.len() as u32);
+            put_u32(&mut payload, value.len() as u32);
+            put_u16(&mut payload, class);
+            put_u64(&mut payload, ttl.unwrap_or(NO_TTL));
+            payload.extend_from_slice(key);
+            payload.extend_from_slice(value);
+        }
+        frame.clear();
+        frame.extend_from_slice(SHARD_MAGIC);
+        put_u32(&mut frame, shard as u32);
+        put_u64(&mut frame, items.len() as u64);
+        put_u64(&mut frame, payload.len() as u64);
+        frame.extend_from_slice(&payload);
+        put_u32(&mut frame, crc32(&payload));
+        out.write_all(&frame)?;
+        total_bytes += frame.len() as u64;
+        total_items += items.len() as u64;
+        if let Some(c) = &c_items {
+            c.add(items.len() as u64);
+        }
+        if let Some(c) = &c_bytes {
+            c.add(frame.len() as u64);
+        }
+        drop(span);
+    }
+
+    let mut trailer = Vec::with_capacity(16);
+    trailer.extend_from_slice(TRAILER_MAGIC);
+    put_u64(&mut trailer, total_items);
+    out.write_all(&trailer)?;
+    out.flush()?;
+    total_bytes += trailer.len() as u64;
+    if let Some(c) = &c_bytes {
+        c.add(trailer.len() as u64);
+    }
+
+    Ok(CkptWriteReport {
+        shards,
+        items: total_items,
+        bytes: total_bytes,
+        per_class,
+        elapsed: start.elapsed(),
+    })
+}
+
+fn read_exact_buf(r: &mut impl Read, n: usize) -> Result<Vec<u8>, CkptError> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u16(r: &mut impl Read) -> Result<u16, CkptError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+fn read_u32(r: &mut impl Read) -> Result<u32, CkptError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn read_u64(r: &mut impl Read) -> Result<u64, CkptError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Declared payload sizes beyond this are treated as malformed rather
+/// than attempted — a corrupted length field must not become an
+/// unbounded allocation.
+const MAX_PAYLOAD: u64 = 1 << 32;
+
+/// Restores a `spotcache-ckpt-v1` stream from `input` into `store`,
+/// bulk-loading via [`Store::set_many_at`] in batches of
+/// `cfg.restore_batch`.
+///
+/// TTLs are re-based against `now`: a record checkpointed with 30
+/// seconds remaining expires 30 seconds after the *restore*, matching
+/// how the replay pump ships residual TTLs. Each shard frame's CRC is
+/// verified before any of its records are applied; on any decode error
+/// the restore stops with records from fully-validated frames already
+/// loaded (sets are idempotent — re-running the restore on a pristine
+/// copy is safe).
+///
+/// With `obs`, progress surfaces as `ckpt_items_restored_total` and
+/// `ckpt_bytes_restored_total`; with `tracer`, each shard frame is a
+/// `checkpoint`-category `restore_shard` span.
+pub fn restore_checkpoint(
+    input: &mut impl Read,
+    store: &Store,
+    now: u64,
+    cfg: &CheckpointConfig,
+    obs: Option<&Obs>,
+    tracer: Option<&Tracer>,
+) -> Result<CkptRestoreReport, CkptError> {
+    let start = Instant::now();
+    let classes = SlabClasses::default_ladder();
+    let mut per_class = vec![0u64; classes.count() + 1];
+    let batch_cap = cfg.restore_batch.max(1);
+
+    let magic = read_exact_buf(input, MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let version = read_u16(input)?;
+    if version != VERSION {
+        return Err(CkptError::BadVersion(version));
+    }
+    let _flags = read_u32(input)?;
+    let shard_count = read_u32(input)?;
+    let _snapshot_now = read_u64(input)?;
+    let mut bytes = (MAGIC.len() + 2 + 4 + 4 + 8) as u64;
+
+    let c_items = obs.map(|o| o.counter("ckpt_items_restored_total"));
+    let c_bytes = obs.map(|o| o.counter("ckpt_bytes_restored_total"));
+    if let Some(c) = &c_bytes {
+        c.add(bytes);
+    }
+
+    let mut items_decoded = 0u64;
+    let mut items_stored = 0u64;
+    for _ in 0..shard_count {
+        let span = tracer.map(|t| t.span("checkpoint", "restore_shard"));
+        let magic = read_exact_buf(input, SHARD_MAGIC.len())?;
+        if magic != SHARD_MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let shard_idx = read_u32(input)?;
+        let record_count = read_u64(input)?;
+        let payload_len = read_u64(input)?;
+        if payload_len > MAX_PAYLOAD {
+            return Err(CkptError::BadFrame("payload length implausibly large"));
+        }
+        if record_count > payload_len.div_ceil(18).max(1) {
+            // Each record costs at least its 18-byte fixed header.
+            return Err(CkptError::BadFrame("record count exceeds payload capacity"));
+        }
+        let payload = read_exact_buf(input, payload_len as usize)?;
+        let declared_crc = read_u32(input)?;
+        let actual_crc = crc32(&payload);
+        if declared_crc != actual_crc {
+            return Err(CkptError::CrcMismatch {
+                shard: shard_idx,
+                expected: declared_crc,
+                actual: actual_crc,
+            });
+        }
+        bytes += (SHARD_MAGIC.len() + 4 + 8 + 8 + 4) as u64 + payload_len;
+
+        // CRC verified: decode the whole frame before applying anything,
+        // so a structurally-bad frame also never half-applies.
+        let mut records: Vec<(Bytes, Bytes, Option<u64>)> =
+            Vec::with_capacity((record_count as usize).min(batch_cap));
+        let mut off = 0usize;
+        for _ in 0..record_count {
+            if payload.len() - off < 18 {
+                return Err(CkptError::BadFrame("record header overruns payload"));
+            }
+            let key_len =
+                u32::from_le_bytes(payload[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let val_len =
+                u32::from_le_bytes(payload[off + 4..off + 8].try_into().expect("4 bytes")) as usize;
+            let class = u16::from_le_bytes(payload[off + 8..off + 10].try_into().expect("2 bytes"));
+            let ttl = u64::from_le_bytes(payload[off + 10..off + 18].try_into().expect("8 bytes"));
+            off += 18;
+            if payload.len() - off < key_len + val_len {
+                return Err(CkptError::BadFrame("record body overruns payload"));
+            }
+            let key = Bytes::copy_from_slice(&payload[off..off + key_len]);
+            off += key_len;
+            let value = Bytes::copy_from_slice(&payload[off..off + val_len]);
+            off += val_len;
+            let slot = if class == NO_SLAB_CLASS || class as usize >= classes.count() {
+                per_class.len() - 1
+            } else {
+                class as usize
+            };
+            per_class[slot] += 1;
+            let ttl = (ttl != NO_TTL).then_some(ttl);
+            records.push((key, value, ttl));
+        }
+        if off != payload.len() {
+            return Err(CkptError::BadFrame("trailing bytes after last record"));
+        }
+        items_decoded += records.len() as u64;
+        let mut iter = records.into_iter();
+        loop {
+            let batch: Vec<_> = iter.by_ref().take(batch_cap).collect();
+            if batch.is_empty() {
+                break;
+            }
+            let stored = store.set_many_at(batch, now) as u64;
+            items_stored += stored;
+            if let Some(c) = &c_items {
+                c.add(stored);
+            }
+        }
+        if let Some(c) = &c_bytes {
+            c.add((SHARD_MAGIC.len() + 4 + 8 + 8 + 4) as u64 + payload_len);
+        }
+        drop(span);
+    }
+
+    let magic = read_exact_buf(input, TRAILER_MAGIC.len())?;
+    if magic != TRAILER_MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let declared = read_u64(input)?;
+    bytes += (TRAILER_MAGIC.len() + 8) as u64;
+    if let Some(c) = &c_bytes {
+        c.add((TRAILER_MAGIC.len() + 8) as u64);
+    }
+    if declared != items_decoded {
+        return Err(CkptError::CountMismatch {
+            declared,
+            decoded: items_decoded,
+        });
+    }
+
+    Ok(CkptRestoreReport {
+        shards: shard_count,
+        items_decoded,
+        items_stored,
+        bytes,
+        per_class,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotcache_cache::store::StoreConfig;
+
+    fn store(shards: usize) -> Store {
+        Store::new(StoreConfig {
+            capacity_bytes: 8 << 20,
+            shards,
+        })
+    }
+
+    fn fill(s: &Store, n: u32) {
+        for i in 0..n {
+            let ttl = (i % 3 == 0).then_some(1_000 + i as u64);
+            s.set_at(
+                format!("key-{i}").into_bytes(),
+                format!("value-{i}").into_bytes(),
+                0,
+                ttl,
+            );
+        }
+    }
+
+    fn cut(s: &Store, now: u64) -> (Vec<u8>, CkptWriteReport) {
+        let mut buf = Vec::new();
+        let report = write_checkpoint(s, now, &mut buf, None, None).expect("write");
+        (buf, report)
+    }
+
+    #[test]
+    fn round_trip_restores_full_state() {
+        let src = store(4);
+        fill(&src, 300);
+        let (buf, wrote) = cut(&src, 0);
+        assert_eq!(wrote.items, 300);
+        assert_eq!(wrote.bytes, buf.len() as u64);
+        assert_eq!(wrote.per_class.iter().sum::<u64>(), 300);
+
+        let dst = store(8); // shard count need not match
+        let restored = restore_checkpoint(
+            &mut buf.as_slice(),
+            &dst,
+            0,
+            &CheckpointConfig::default(),
+            None,
+            None,
+        )
+        .expect("restore");
+        assert_eq!(restored.items_decoded, 300);
+        assert_eq!(restored.items_stored, 300);
+        assert_eq!(restored.bytes, buf.len() as u64);
+        for i in 0..300u32 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                dst.get(key.as_bytes()),
+                src.get(key.as_bytes()),
+                "key {key} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn ttls_rebase_on_restore() {
+        let src = store(1);
+        src.set_at("k", "v", 100, Some(50)); // expires at 150
+        let (buf, _) = cut(&src, 120); // 30 s remaining at snapshot
+        let dst = store(1);
+        restore_checkpoint(
+            &mut buf.as_slice(),
+            &dst,
+            1_000,
+            &CheckpointConfig::default(),
+            None,
+            None,
+        )
+        .expect("restore");
+        assert!(dst.get_at(b"k", 1_029).is_some(), "should live ~30 s");
+        assert!(dst.get_at(b"k", 1_031).is_none(), "should expire at 1030");
+    }
+
+    #[test]
+    fn corrupted_frame_is_rejected_before_apply() {
+        let src = store(2);
+        fill(&src, 100);
+        let (mut buf, _) = cut(&src, 0);
+        // Flip a byte inside the first shard's payload (past the 24-byte
+        // header and the 24-byte frame header).
+        buf[60] ^= 0xFF;
+        let dst = store(2);
+        let err = restore_checkpoint(
+            &mut buf.as_slice(),
+            &dst,
+            0,
+            &CheckpointConfig::default(),
+            None,
+            None,
+        )
+        .expect_err("must reject");
+        assert!(
+            matches!(err, CkptError::CrcMismatch { .. }),
+            "unexpected error: {err}"
+        );
+        assert_eq!(dst.len(), 0, "corrupt frame must not half-apply");
+    }
+
+    #[test]
+    fn truncated_stream_is_a_clean_error() {
+        let src = store(2);
+        fill(&src, 50);
+        let (buf, _) = cut(&src, 0);
+        for cut_at in [3, 20, buf.len() / 2, buf.len() - 1] {
+            let dst = store(2);
+            let err = restore_checkpoint(
+                &mut &buf[..cut_at],
+                &dst,
+                0,
+                &CheckpointConfig::default(),
+                None,
+                None,
+            )
+            .expect_err("must reject truncation");
+            assert!(
+                matches!(err, CkptError::Truncated | CkptError::BadMagic),
+                "cut at {cut_at}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let src = store(1);
+        fill(&src, 10);
+        let (mut buf, _) = cut(&src, 0);
+        buf[6] = 0x7F; // version low byte
+        let err = restore_checkpoint(
+            &mut buf.as_slice(),
+            &store(1),
+            0,
+            &CheckpointConfig::default(),
+            None,
+            None,
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, CkptError::BadVersion(0x7F)), "{err}");
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let (buf, wrote) = cut(&store(4), 0);
+        assert_eq!(wrote.items, 0);
+        let dst = store(4);
+        let restored = restore_checkpoint(
+            &mut buf.as_slice(),
+            &dst,
+            0,
+            &CheckpointConfig::default(),
+            None,
+            None,
+        )
+        .expect("restore");
+        assert_eq!(restored.items_decoded, 0);
+        assert_eq!(dst.len(), 0);
+    }
+
+    #[test]
+    fn obs_and_spans_are_threaded() {
+        let src = store(2);
+        fill(&src, 40);
+        let obs = Obs::new();
+        let tracer = Tracer::all(256);
+        let mut buf = Vec::new();
+        write_checkpoint(&src, 0, &mut buf, Some(&obs), Some(&tracer)).expect("write");
+        let dst = store(2);
+        restore_checkpoint(
+            &mut buf.as_slice(),
+            &dst,
+            0,
+            &CheckpointConfig::default(),
+            Some(&obs),
+            Some(&tracer),
+        )
+        .expect("restore");
+        assert_eq!(obs.counter("ckpt_items_written_total").get(), 40);
+        assert_eq!(obs.counter("ckpt_items_restored_total").get(), 40);
+        assert_eq!(
+            obs.counter("ckpt_bytes_written_total").get(),
+            buf.len() as u64
+        );
+        assert_eq!(
+            obs.counter("ckpt_bytes_restored_total").get(),
+            buf.len() as u64
+        );
+        assert!(tracer.categories().contains(&"checkpoint"));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -18,9 +18,15 @@
 //!   `Warning` phase is entered on the 2-minute revocation notice; it
 //!   changes nothing for clients but tells the drill harness the drain +
 //!   pre-warm window is open.
-//! * **Degraded** — the primary is gone. Reads try the (warming)
-//!   replacement first and fall back to the stale backup; writes go to
-//!   the replacement so fresh data lands where it will live.
+//! * **Degraded** — the primary is gone. How reads route depends on the
+//!   [`RecoveryMode`] the recovery layer selected: under `Replay` and
+//!   `Hybrid` the replacement warms hottest-first, so reads try it first
+//!   and fall back to the stale backup; under `Checkpoint` the
+//!   replacement is *empty* until the bulk load lands atomically, so
+//!   reads go stale-from-backup first and only fall back to the
+//!   replacement (which also catches post-revocation writes). Writes go
+//!   to the replacement in every mode so fresh data lands where it will
+//!   live.
 //! * **Warmed** — the replacement holds the hot set; the backup drops out
 //!   of the read path.
 //!
@@ -45,6 +51,26 @@ pub enum DrillPhase {
     Degraded,
     /// Replacement warmed; backup out of the read path.
     Warmed,
+}
+
+/// Which recovery strategy is restoring the replacement, as selected by
+/// the recovery layer (`spotcache_recovery::RecoveryStrategy::mode`).
+///
+/// The router does not run the restore; it only needs to know the serve
+/// posture that fits it — chiefly whether the replacement is worth
+/// querying *during* the Degraded phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Paced hot-set replay: the replacement warms hottest-first and is
+    /// worth querying immediately. The default (the paper's §3.3 path).
+    #[default]
+    Replay,
+    /// Checkpoint bulk-load: the replacement is empty until the load
+    /// lands, so the stale backup is the better first stop.
+    Checkpoint,
+    /// Checkpoint restore plus replication-tail top-up; routes like
+    /// `Replay` (the checkpoint lands early in the restore window).
+    Hybrid,
 }
 
 /// Where a request should be sent.
@@ -93,6 +119,10 @@ const P_WARNING: u8 = 1;
 const P_DEGRADED: u8 = 2;
 const P_WARMED: u8 = 3;
 
+const M_REPLAY: u8 = 0;
+const M_CHECKPOINT: u8 = 1;
+const M_HYBRID: u8 = 2;
+
 /// The degraded-mode routing state machine; see the module docs.
 ///
 /// All methods take `&self` — the router is shared freely across client
@@ -100,6 +130,7 @@ const P_WARMED: u8 = 3;
 #[derive(Debug, Default)]
 pub struct DegradedRouter {
     phase: AtomicU8,
+    mode: AtomicU8,
     transitions: AtomicU64,
     primary: AtomicU64,
     backup_stale: AtomicU64,
@@ -153,6 +184,27 @@ impl DegradedRouter {
         self.transitions.load(Ordering::Relaxed)
     }
 
+    /// Selects the recovery mode the Degraded read plan should assume.
+    /// Normally set from `RecoveryStrategy::mode()` when the strategy is
+    /// armed (at the warning, or at the kill when unwarned).
+    pub fn set_mode(&self, mode: RecoveryMode) {
+        let m = match mode {
+            RecoveryMode::Replay => M_REPLAY,
+            RecoveryMode::Checkpoint => M_CHECKPOINT,
+            RecoveryMode::Hybrid => M_HYBRID,
+        };
+        self.mode.store(m, Ordering::Release);
+    }
+
+    /// The recovery mode currently assumed by the read plan.
+    pub fn mode(&self) -> RecoveryMode {
+        match self.mode.load(Ordering::Acquire) {
+            M_CHECKPOINT => RecoveryMode::Checkpoint,
+            M_HYBRID => RecoveryMode::Hybrid,
+            _ => RecoveryMode::Replay,
+        }
+    }
+
     /// Where to send a read right now.
     pub fn read_plan(&self) -> ReadPlan {
         match self.phase() {
@@ -160,9 +212,20 @@ impl DegradedRouter {
                 first: ServeTarget::Primary,
                 fallback: None,
             },
-            DrillPhase::Degraded => ReadPlan {
-                first: ServeTarget::Replacement,
-                fallback: Some(ServeTarget::BackupStale),
+            DrillPhase::Degraded => match self.mode() {
+                // Replay/Hybrid: the replacement warms hottest-first —
+                // query it first, fall back to the stale backup.
+                RecoveryMode::Replay | RecoveryMode::Hybrid => ReadPlan {
+                    first: ServeTarget::Replacement,
+                    fallback: Some(ServeTarget::BackupStale),
+                },
+                // Checkpoint: the replacement is empty until the bulk
+                // load lands — serve stale first; the replacement
+                // fallback still catches post-revocation writes.
+                RecoveryMode::Checkpoint => ReadPlan {
+                    first: ServeTarget::BackupStale,
+                    fallback: Some(ServeTarget::Replacement),
+                },
             },
             DrillPhase::Warmed => ReadPlan {
                 first: ServeTarget::Replacement,
@@ -233,6 +296,37 @@ mod tests {
         r.reset();
         assert_eq!(r.phase(), DrillPhase::Healthy);
         assert_eq!(r.transitions(), 4);
+    }
+
+    #[test]
+    fn checkpoint_mode_serves_stale_first_while_degraded() {
+        let r = DegradedRouter::new();
+        assert_eq!(r.mode(), RecoveryMode::Replay, "replay is the default");
+        r.set_mode(RecoveryMode::Checkpoint);
+        r.on_warning();
+        // Mode changes nothing before the kill...
+        assert_eq!(r.read_plan().first, ServeTarget::Primary);
+        r.on_revoked();
+        // ...but flips the Degraded plan: stale-first, replacement as
+        // the fallback for post-revocation writes.
+        let plan = r.read_plan();
+        assert_eq!(plan.first, ServeTarget::BackupStale);
+        assert_eq!(plan.fallback, Some(ServeTarget::Replacement));
+        assert_eq!(r.write_target(), ServeTarget::Replacement);
+        // ...and once warmed, the backup drops out regardless of mode.
+        r.on_warmed();
+        assert_eq!(r.read_plan().first, ServeTarget::Replacement);
+        assert_eq!(r.read_plan().fallback, None);
+    }
+
+    #[test]
+    fn hybrid_mode_routes_like_replay() {
+        let r = DegradedRouter::new();
+        r.set_mode(RecoveryMode::Hybrid);
+        r.on_revoked();
+        let plan = r.read_plan();
+        assert_eq!(plan.first, ServeTarget::Replacement);
+        assert_eq!(plan.fallback, Some(ServeTarget::BackupStale));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod prefix;
 pub mod sketch;
 
 pub use balancer::{LoadBalancer, NodeWeights, Route};
-pub use degraded::{DegradedRouter, DrillPhase, ReadPlan, ServeCounts, ServeTarget};
+pub use degraded::{DegradedRouter, DrillPhase, ReadPlan, RecoveryMode, ServeCounts, ServeTarget};
 pub use epoch::{EpochSubscriber, WeightEpoch, WeightLedger};
 pub use hashring::{HashRing, NodeId};
 pub use hotreplica::HotReplicaSet;
