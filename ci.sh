@@ -96,6 +96,26 @@ for fault in ("sever", "stall", "corrupt"):
     assert f["link_errors"] > 0 and f["healed"], f"link fault {fault}: not observed/healed"
 PY
 
+echo "==> cluster loadgen smoke test (reactor data plane, multi-node ring)"
+cl="$(mktemp /tmp/cluster_loadgen.XXXXXX.json)"
+trap 'rm -f "$snap" "$lg" "$tr" "$lgtr" "$dr" "$cl"' EXIT
+# The bin asserts its own smoke throughput floor; re-check the artifact's
+# schema and the cluster-shape invariants here so the gate does not rely
+# on the bin's asserts alone.
+cargo run --release -q -p spotcache-bench --bin cluster_loadgen -- --smoke --out "$cl" \
+    | grep -q "cluster loadgen OK"
+python3 - "$cl" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spotcache-cluster-v1", doc.get("schema")
+assert doc["nodes"] >= 2, "cluster smoke must span at least two nodes"
+assert doc["workers_per_node"] >= 1, "resolved worker pool must be non-empty"
+assert doc["pipelined"]["ops_per_sec"] > 0, "aggregate throughput missing"
+assert len(doc["per_node"]) == doc["nodes"], "per-node stats incomplete"
+for n in doc["per_node"]:
+    assert n["connections"] > 0, f"node {n['node']}: no connections served"
+PY
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -15,8 +15,12 @@
 //!   and
 //! * [`protocol`] — the memcached text protocol (parse / execute / encode)
 //!   so a node can be driven with real wire traffic, and
-//! * [`server`] — a worker-pool TCP server multiplexing nonblocking
-//!   connections over the protocol codec, and
+//! * [`reactor`] (Linux) — a raw-syscall epoll/eventfd readiness layer:
+//!   `Poller` + `WakeFd`, no external deps, and
+//! * [`server`] — a TCP server multiplexing nonblocking connections over
+//!   the protocol codec; its default data plane is a readiness-driven
+//!   reactor (idle connections cost zero CPU), with the old worker pool
+//!   kept as the portable fallback, and
 //! * [`replication`] — a hot-key mutation tap + bounded queue + TCP
 //!   shipper keeping a passive backup warm (paper §3.3; see
 //!   DESIGN.md §"Revocation drills").
@@ -30,6 +34,8 @@
 pub mod lru;
 pub mod node;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod replication;
 pub mod server;
 pub mod slab;
@@ -42,9 +48,12 @@ pub use protocol::{
     serve_observed_into, Command, ParseError, ProtocolObs, Request, StoreVerb,
 };
 pub use replication::{
-    ship_batch, Mutation, ReplicationConfig, ReplicationQueue, ReplicationStats, Replicator,
+    jittered_backoff, next_jitter_seed, ship_batch, Mutation, ReplicationConfig, ReplicationQueue,
+    ReplicationStats, Replicator,
 };
-pub use server::{CacheClient, CacheServer, Clock, LogicalClock, ServerConfig, SystemClock};
+pub use server::{
+    CacheClient, CacheServer, Clock, DataPlane, LogicalClock, ServerConfig, SystemClock,
+};
 pub use slab::{slab_efficiency, SlabAllocator, SlabClasses, SlabError};
 pub use store::{
     CacheStats, MutationSink, SetOutcome, SetPolicy, Store, StoreConfig, StoreSnapshot,

@@ -67,6 +67,13 @@ pub struct ReplicationConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling (doubling stops here).
     pub backoff_max: Duration,
+    /// Multiplicative jitter applied to every backoff sleep: each delay is
+    /// scaled by a uniform factor in `1 ± backoff_jitter`. Without it a
+    /// fleet of replicators revived by the same revocation retries in
+    /// lockstep, hammering the backup in synchronized bursts; ±25 % (the
+    /// default) is enough to spread them out. `0.0` disables jitter
+    /// (deterministic schedules, used by some tests).
+    pub backoff_jitter: f64,
     /// Idle poll interval when the queue is empty.
     pub poll_interval: Duration,
     /// Ship attempts per batch before it is dropped (bounds memory and
@@ -82,6 +89,7 @@ impl Default for ReplicationConfig {
             io_timeout: Duration::from_millis(500),
             backoff_base: Duration::from_millis(10),
             backoff_max: Duration::from_millis(500),
+            backoff_jitter: 0.25,
             poll_interval: Duration::from_millis(1),
             max_batch_retries: 8,
         }
@@ -434,6 +442,41 @@ impl Drop for Replicator {
 }
 
 #[allow(clippy::too_many_arguments)]
+/// Global seed counter for per-replicator jitter streams. Every shipper
+/// thread draws a distinct seed here, so replicators started (or revived)
+/// at the same instant still jitter independently.
+static JITTER_SEED: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+/// Draws a fresh, decorrelated jitter-RNG state.
+pub fn next_jitter_seed() -> u64 {
+    let mut s = JITTER_SEED.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    splitmix64(&mut s)
+}
+
+/// One step of the splitmix64 generator (tiny, seedable, dependency-free).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Scales `base` by a uniform factor in `1 ± jitter`, advancing `state`.
+///
+/// `jitter <= 0` returns `base` unchanged (deterministic schedules).
+/// Exposed so the restart/auto-scaling layers can reuse the exact backoff
+/// discipline the replicator ships with.
+pub fn jittered_backoff(base: Duration, jitter: f64, state: &mut u64) -> Duration {
+    if jitter <= 0.0 {
+        return base;
+    }
+    // 53 uniform bits → [0, 1), mapped to [1 - jitter, 1 + jitter).
+    let unit = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    let factor = 1.0 + jitter * (2.0 * unit - 1.0);
+    base.mul_f64(factor.max(0.0))
+}
+
 fn ship_loop(
     addr: SocketAddr,
     queue: Arc<ReplicationQueue>,
@@ -468,6 +511,7 @@ fn ship_loop(
     let mut conn: Option<TcpStream> = None;
     let mut ever_connected = false;
     let mut backoff = cfg.backoff_base;
+    let mut jitter_state = next_jitter_seed();
     let mut batch: Vec<Mutation> = Vec::new();
     let mut attempts: u32 = 0;
     let mut req = Vec::new();
@@ -511,7 +555,11 @@ fn ship_loop(
                     fault("connect_failed");
                     attempts =
                         bump_attempts(attempts, &cfg, &mut batch, &shared, &c_bdrop, &c_retries);
-                    std::thread::sleep(backoff);
+                    std::thread::sleep(jittered_backoff(
+                        backoff,
+                        cfg.backoff_jitter,
+                        &mut jitter_state,
+                    ));
                     backoff = (backoff * 2).min(cfg.backoff_max);
                     continue;
                 }
@@ -543,7 +591,11 @@ fn ship_loop(
                 });
                 conn = None; // the link state is unknown: resync by reconnecting
                 attempts = bump_attempts(attempts, &cfg, &mut batch, &shared, &c_bdrop, &c_retries);
-                std::thread::sleep(backoff);
+                std::thread::sleep(jittered_backoff(
+                    backoff,
+                    cfg.backoff_jitter,
+                    &mut jitter_state,
+                ));
                 backoff = (backoff * 2).min(cfg.backoff_max);
             }
         }
@@ -588,6 +640,44 @@ mod tests {
             capacity_bytes: 4 << 20,
             shards: 4,
         }))
+    }
+
+    #[test]
+    fn jittered_backoff_stays_inside_the_band() {
+        let base = Duration::from_millis(100);
+        let mut state = next_jitter_seed();
+        for _ in 0..1_000 {
+            let d = jittered_backoff(base, 0.25, &mut state);
+            assert!(d >= Duration::from_millis(75), "{d:?} below band");
+            assert!(d < Duration::from_millis(125), "{d:?} above band");
+        }
+        // Zero jitter is exactly deterministic.
+        assert_eq!(jittered_backoff(base, 0.0, &mut state), base);
+    }
+
+    #[test]
+    fn two_replicators_retry_schedules_decorrelate() {
+        // Two shippers revived by the same revocation draw distinct seeds
+        // and so sleep for different jittered delays at every step of the
+        // same base schedule — no lockstep reconnect storms.
+        let mut a = next_jitter_seed();
+        let mut b = next_jitter_seed();
+        assert_ne!(a, b);
+        let mut base = Duration::from_millis(10);
+        let max = Duration::from_millis(500);
+        let mut differing = 0;
+        for _ in 0..16 {
+            let da = jittered_backoff(base, 0.25, &mut a);
+            let db = jittered_backoff(base, 0.25, &mut b);
+            if da != db {
+                differing += 1;
+            }
+            base = (base * 2).min(max);
+        }
+        assert!(
+            differing >= 12,
+            "schedules stayed correlated: only {differing}/16 steps differ"
+        );
     }
 
     #[test]

@@ -1,15 +1,28 @@
 //! A TCP memcached server over the text-protocol codec.
 //!
-//! Connections are multiplexed across a **fixed-size worker pool** over
-//! nonblocking sockets (memcached's own model): the accept thread hands
-//! each connection to a worker round-robin, and every worker owns its
-//! connections outright — no locks on the serving path, no per-connection
-//! threads to leak under a connection flood. Each connection keeps one
-//! input buffer and one output buffer for its whole lifetime; responses
-//! are appended by [`crate::protocol::serve_observed_into`] so pipelined
+//! The data plane is a **readiness-driven reactor** (the default on
+//! Linux): each worker owns an epoll instance ([`crate::reactor`]) and a
+//! shard of the connections, blocks in `epoll_wait` until a socket is
+//! actually readable or writable, and rearms per-connection interest to
+//! follow its backpressure state — an idle connection costs zero CPU, and
+//! ten thousand idle connections cost the same. The accept loop blocks in
+//! its own poller rather than sleeping between polls, and every event
+//! loop carries an eventfd wakeup so `stop()` and new-connection handoff
+//! are deterministic instead of poll-sleep races.
+//!
+//! The previous fixed-size spin-then-sleep worker pool survives as
+//! [`DataPlane::ThreadPool`]: it is the portable fallback off Linux and
+//! the reference implementation the reactor is property-tested against
+//! (`tests/pipeline.rs` proves the two return byte-identical responses).
+//!
+//! Connection handling is shared by both planes: every connection keeps
+//! one input and one output buffer for its whole lifetime; responses are
+//! appended by [`crate::protocol::serve_observed_into`] so pipelined
 //! batches execute as a unit. Both buffers are bounded: a reader that
-//! stops draining its responses stops being read from (backpressure), and
-//! a writer that streams an endless unparseable "command" is disconnected.
+//! stops draining its responses stops being read from (backpressure), a
+//! writer that streams an endless unparseable "command" is disconnected,
+//! and a buffer that ballooned under backpressure releases its capacity
+//! once drained (slow readers cannot pin memory forever).
 //!
 //! The server shares a [`Store`] — the same store a
 //! [`crate::node::CacheNode`] wraps — so a node can be driven over real
@@ -24,7 +37,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use spotcache_obs::{Obs, Tracer};
+#[cfg(target_os = "linux")]
+use std::os::unix::io::AsRawFd;
+
+use spotcache_obs::{Counter, Obs, Tracer};
+
+#[cfg(target_os = "linux")]
+use crate::reactor::{Events, Interest, Poller, WakeFd};
 
 use crate::protocol::{serve_observed_into, serve_traced_into, ProtocolObs};
 use crate::store::Store;
@@ -70,26 +89,68 @@ impl Clock for Arc<LogicalClock> {
     }
 }
 
-/// How long the accept loop sleeps between polls of a quiet listener.
+/// How long the fallback accept loop sleeps between polls of a quiet
+/// listener (non-Linux only; the reactor accept loop blocks instead).
+#[cfg(not(target_os = "linux"))]
 const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(2);
 
-/// Consecutive idle passes a worker spin-yields before it starts
-/// sleeping. Under load the worker never leaves spin mode, so active
-/// connections see microsecond-scale polling latency.
+/// Consecutive idle passes a thread-pool worker spin-yields before it
+/// starts sleeping. Under load the worker never leaves spin mode, so
+/// active connections see microsecond-scale polling latency.
 const IDLE_SPINS: u32 = 64;
 
-/// How long an idle worker sleeps between polls once past [`IDLE_SPINS`].
+/// How long an idle thread-pool worker sleeps between polls once past
+/// [`IDLE_SPINS`].
 const IDLE_SLEEP: std::time::Duration = std::time::Duration::from_micros(500);
 
 /// Once this many flushed bytes accumulate at the front of a connection's
 /// output buffer, compact it (amortizes the memmove over large writes).
 const OUT_COMPACT_THRESHOLD: usize = 64 * 1024;
 
-/// Tuning knobs for the worker-pool server.
+/// Capacity a connection buffer may keep after draining completely.
+/// A burst (or a slow reader hitting its backpressure cap) can balloon a
+/// buffer to megabytes; once the bytes are gone, capacity beyond this is
+/// released so idle connections cannot pin burst-sized allocations.
+const BUF_RETAIN_MAX: usize = 64 * 1024;
+
+/// Reactor token reserved for the per-worker wakeup eventfd.
+#[cfg(target_os = "linux")]
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Events drained per `epoll_wait` in a reactor worker.
+#[cfg(target_os = "linux")]
+const EVENT_BATCH: usize = 1024;
+
+/// Which serving backend multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPlane {
+    /// Readiness-driven epoll reactor (Linux; the default there). Idle
+    /// connections cost zero CPU; shutdown and handoff are wakeup-driven.
+    Reactor,
+    /// Fixed-size worker pool polling nonblocking sockets with a
+    /// spin-then-sleep idle strategy. Portable; kept as the reference
+    /// implementation the reactor is property-tested against.
+    ThreadPool,
+}
+
+impl Default for DataPlane {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            DataPlane::Reactor
+        } else {
+            DataPlane::ThreadPool
+        }
+    }
+}
+
+/// Tuning knobs for the server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads. `0` (the default) sizes the pool to the machine:
-    /// `available_parallelism` clamped to `1..=4`.
+    /// Worker event loops. `0` (the default) auto-sizes to the machine:
+    /// `available_parallelism`, clamped above by the store's shard count
+    /// (more workers than shards only adds lock contention, never
+    /// parallelism — see [`ServerConfig::effective_workers_for`]).
+    /// Nonzero values are taken literally.
     pub workers: usize,
     /// Bytes read from a socket per `read` call.
     pub read_chunk: usize,
@@ -101,6 +162,10 @@ pub struct ServerConfig {
     /// connection is not read from until the peer drains its responses
     /// (backpressure on slow readers).
     pub max_pending_out: usize,
+    /// Serving backend. Defaults to [`DataPlane::Reactor`] on Linux and
+    /// [`DataPlane::ThreadPool`] elsewhere; a `Reactor` request off Linux
+    /// silently resolves to the pool.
+    pub data_plane: DataPlane,
 }
 
 impl Default for ServerConfig {
@@ -110,21 +175,36 @@ impl Default for ServerConfig {
             read_chunk: 16 * 1024,
             max_pending_in: 8 * 1024 * 1024,
             max_pending_out: 4 * 1024 * 1024,
+            data_plane: DataPlane::default(),
         }
     }
 }
 
 impl ServerConfig {
     /// The worker count after resolving `workers == 0` to the machine
-    /// size.
+    /// size, uncapped by sharding (equivalent to
+    /// [`effective_workers_for`](Self::effective_workers_for) with a
+    /// huge shard count). Prefer the shard-aware form when a store is at
+    /// hand — the server itself always uses it.
     pub fn effective_workers(&self) -> usize {
+        self.effective_workers_for(usize::MAX)
+    }
+
+    /// The worker count serving a store with `shards` shards.
+    ///
+    /// `workers > 0` is honoured literally. `workers == 0` auto-sizes to
+    /// `available_parallelism` clamped to `1..=shards`: one event loop
+    /// per core up to the point where every worker can hold a distinct
+    /// shard lock. (The old clamp of `1..=4` silently capped throughput
+    /// on larger machines.)
+    pub fn effective_workers_for(&self, shards: usize) -> usize {
         if self.workers > 0 {
             return self.workers;
         }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .clamp(1, 4)
+            .clamp(1, shards.max(1))
     }
 }
 
@@ -159,11 +239,15 @@ struct Conn {
     pending_out: Vec<u8>,
     out_cursor: usize,
     eof: bool,
+    /// Reactor bookkeeping: the interest currently armed in the poller
+    /// (readable, writable). Unused by the thread-pool plane.
+    armed_read: bool,
+    armed_write: bool,
 }
 
 enum ConnState {
     /// Still open; `moved` reports whether any bytes were transferred
-    /// this pass (the worker's idle detector).
+    /// this pass (the thread-pool worker's idle detector).
     Open { moved: bool },
     /// Finished or failed; the worker drops it.
     Closed,
@@ -177,6 +261,8 @@ impl Conn {
             pending_out: Vec::new(),
             out_cursor: 0,
             eof: false,
+            armed_read: true,
+            armed_write: false,
         }
     }
 
@@ -196,8 +282,15 @@ impl Conn {
             }
         }
         if self.out_cursor == self.pending_out.len() {
+            // Fully drained: reset the cursor AND release burst capacity.
+            // A slow reader can legitimately balloon this buffer to
+            // max_pending_out; without the shrink every such episode
+            // would pin that allocation for the connection's lifetime.
             self.pending_out.clear();
             self.out_cursor = 0;
+            if self.pending_out.capacity() > BUF_RETAIN_MAX {
+                self.pending_out.shrink_to(BUF_RETAIN_MAX);
+            }
         } else if self.out_cursor > OUT_COMPACT_THRESHOLD {
             self.pending_out.drain(..self.out_cursor);
             self.out_cursor = 0;
@@ -205,12 +298,21 @@ impl Conn {
         true
     }
 
+    /// Unflushed response bytes have reached the slow-reader cap.
     fn backpressured(&self, cfg: &ServerConfig) -> bool {
         self.pending_out.len() - self.out_cursor >= cfg.max_pending_out
     }
 
+    /// The readiness this connection wants next: readable unless EOF'd or
+    /// backpressured, writable while output remains unflushed.
+    fn wants(&self, cfg: &ServerConfig) -> (bool, bool) {
+        (
+            !self.eof && !self.backpressured(cfg),
+            self.out_cursor < self.pending_out.len(),
+        )
+    }
+
     /// One readiness pass: flush, read-and-serve, flush.
-    #[allow(clippy::too_many_arguments)]
     fn tick(
         &mut self,
         store: &Store,
@@ -258,6 +360,12 @@ impl Conn {
                         )
                     };
                     self.pending_in.drain(..consumed);
+                    if self.pending_in.is_empty() && self.pending_in.capacity() > BUF_RETAIN_MAX {
+                        // Same retention rule as the output side: a burst
+                        // of pipelined input must not pin its high-water
+                        // mark once consumed.
+                        self.pending_in.shrink_to(BUF_RETAIN_MAX);
+                    }
                     if consumed == 0 && self.pending_in.len() > cfg.max_pending_in {
                         // An endless incomplete "command": cut it off.
                         return ConnState::Closed;
@@ -367,6 +475,271 @@ fn worker_loop(
     while rx.try_recv().is_ok() {}
 }
 
+/// The accept thread's handoff into a reactor worker: a queue of freshly
+/// accepted sockets plus the eventfd that tells the worker to adopt them.
+#[cfg(target_os = "linux")]
+struct Injector {
+    queue: parking_lot::Mutex<Vec<TcpStream>>,
+    wake: WakeFd,
+}
+
+/// Reactor observability: `reactor_*` counters shared by all workers.
+struct ReactorMetrics {
+    waits: Counter,
+    events: Counter,
+    wakeups: Counter,
+    rearms: Counter,
+}
+
+impl ReactorMetrics {
+    fn new(obs: &Obs) -> Self {
+        Self {
+            waits: obs.counter("reactor_epoll_waits_total"),
+            events: obs.counter("reactor_events_total"),
+            wakeups: obs.counter("reactor_wakeups_total"),
+            rearms: obs.counter("reactor_rearms_total"),
+        }
+    }
+}
+
+/// One reactor worker: blocks in `epoll_wait`, ticks exactly the
+/// connections the kernel reports ready, and rearms interest to follow
+/// each connection's backpressure state.
+#[cfg(target_os = "linux")]
+#[allow(clippy::too_many_arguments)]
+fn reactor_worker_loop(
+    poller: Poller,
+    injector: Arc<Injector>,
+    store: Arc<Store>,
+    clock: Arc<dyn Clock>,
+    shutdown: Arc<AtomicBool>,
+    obs: Option<Arc<ProtocolObs>>,
+    tracer: Option<Arc<Tracer>>,
+    metrics: Option<Arc<ReactorMetrics>>,
+    cfg: ServerConfig,
+    active: Arc<AtomicUsize>,
+) {
+    // Connection slab: the reactor token is the slot index, so readiness
+    // events map to connections without hashing. Closed slots recycle
+    // through the free list.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live = 0usize;
+    let mut buf = vec![0u8; cfg.read_chunk.max(1)];
+    let mut events = Events::with_capacity(EVENT_BATCH);
+    'run: loop {
+        let wait_start = tracer
+            .as_deref()
+            .filter(|t| t.is_enabled())
+            .map(|t| t.now_us());
+        let n = match poller.wait(&mut events, -1) {
+            Ok(n) => n,
+            Err(_) => break 'run,
+        };
+        if let Some(m) = &metrics {
+            m.waits.inc();
+            m.events.add(n as u64);
+        }
+        if let (Some(t), Some(t0)) = (tracer.as_deref(), wait_start) {
+            t.record_at("reactor", "epoll_wait", t0, t.now_us() - t0);
+        }
+        let now = clock.now();
+        for i in 0..events.len() {
+            let ev = match events.get(i) {
+                Some(ev) => ev,
+                None => break,
+            };
+            if ev.token == WAKE_TOKEN {
+                // Drain BEFORE reading the reasons: a wake arriving after
+                // the drain re-readies the fd instead of being lost.
+                injector.wake.drain();
+                if let Some(m) = &metrics {
+                    m.wakeups.inc();
+                }
+                if let Some(t) = tracer.as_deref() {
+                    if t.is_enabled() {
+                        t.record_at("reactor", "wakeup", t.now_us(), 0.0);
+                    }
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    break 'run;
+                }
+                let adopted = std::mem::take(&mut *injector.queue.lock());
+                for s in adopted {
+                    let idx = free.pop().unwrap_or_else(|| {
+                        conns.push(None);
+                        conns.len() - 1
+                    });
+                    let fd = s.as_raw_fd();
+                    if poller.add(fd, idx as u64, Interest::READ).is_err() {
+                        // Dead on arrival; dropping `s` closes it.
+                        free.push(idx);
+                        continue;
+                    }
+                    conns[idx] = Some(Conn::new(s));
+                    live += 1;
+                    active.fetch_add(1, Ordering::SeqCst);
+                }
+                continue;
+            }
+            let idx = ev.token as usize;
+            // A slot may have closed earlier in this very batch; stale
+            // events for it are skipped.
+            let Some(slot) = conns.get_mut(idx) else {
+                continue;
+            };
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            match conn.tick(
+                &store,
+                now,
+                obs.as_deref(),
+                tracer.as_deref(),
+                &cfg,
+                &mut buf,
+            ) {
+                ConnState::Closed => {
+                    let _ = poller.delete(conn.stream.as_raw_fd());
+                    *slot = None;
+                    free.push(idx);
+                    live -= 1;
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+                ConnState::Open { .. } => {
+                    let (want_read, want_write) = conn.wants(&cfg);
+                    if want_read != conn.armed_read || want_write != conn.armed_write {
+                        let rearmed = poller.modify(
+                            conn.stream.as_raw_fd(),
+                            idx as u64,
+                            Interest {
+                                readable: want_read,
+                                writable: want_write,
+                            },
+                        );
+                        if rearmed.is_ok() {
+                            conn.armed_read = want_read;
+                            conn.armed_write = want_write;
+                            if let Some(m) = &metrics {
+                                m.rearms.inc();
+                            }
+                            if let Some(t) = tracer.as_deref() {
+                                if t.is_enabled() {
+                                    t.record_at("reactor", "rearm", t.now_us(), 0.0);
+                                }
+                            }
+                        }
+                        // On rearm failure the old interest stays armed;
+                        // level-triggered readiness retries next wait.
+                    }
+                }
+            }
+        }
+    }
+    // Shutdown (or poller failure): drop everything we own, keeping the
+    // gauge honest. Queued-but-never-adopted connections were never
+    // counted.
+    active.fetch_sub(live, Ordering::SeqCst);
+    drop(conns);
+    injector.queue.lock().clear();
+}
+
+/// The reactor accept loop: blocks in its poller until the listener is
+/// ready or the wakeup fd is poked (shutdown), then accepts a burst.
+#[cfg(target_os = "linux")]
+#[allow(clippy::too_many_arguments)]
+fn accept_loop_reactor(
+    listener: TcpListener,
+    poller: Poller,
+    wake: Arc<WakeFd>,
+    shutdown: Arc<AtomicBool>,
+    mut dispatch: impl FnMut(TcpStream),
+    conn_counter: Option<Counter>,
+    retry_counter: Option<Counter>,
+    tracer: Option<Arc<Tracer>>,
+) {
+    const LISTENER_TOKEN: u64 = 0;
+    const ACCEPT_WAKE_TOKEN: u64 = 1;
+    let mut events = Events::with_capacity(8);
+    'run: loop {
+        if poller.wait(&mut events, -1).is_err() {
+            break;
+        }
+        for ev in events.iter() {
+            if ev.token == ACCEPT_WAKE_TOKEN {
+                wake.drain();
+                if shutdown.load(Ordering::SeqCst) {
+                    break 'run;
+                }
+            }
+            debug_assert!(ev.token == LISTENER_TOKEN || ev.token == ACCEPT_WAKE_TOKEN);
+        }
+        // Accept the whole burst; level-triggered readiness re-reports
+        // anything left when the burst outruns one pass.
+        loop {
+            match listener.accept() {
+                Ok((s, _)) => {
+                    let _accept_span = tracer.as_deref().map(|t| t.span("server", "accept"));
+                    if let Some(c) = &conn_counter {
+                        c.inc();
+                    }
+                    if s.set_nonblocking(true).is_err() {
+                        continue; // dead on arrival
+                    }
+                    let _ = s.set_nodelay(true);
+                    dispatch(s);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if transient_accept_error(&e) => {
+                    if let Some(c) = &retry_counter {
+                        c.inc();
+                    }
+                    break;
+                }
+                Err(_) => break 'run,
+            }
+        }
+    }
+}
+
+/// The portable fallback accept loop (non-Linux): nonblocking accept with
+/// a short sleep between polls of a quiet listener.
+#[cfg(not(target_os = "linux"))]
+fn accept_loop_poll(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    mut dispatch: impl FnMut(TcpStream),
+    conn_counter: Option<Counter>,
+    retry_counter: Option<Counter>,
+    tracer: Option<Arc<Tracer>>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((s, _)) => {
+                let _accept_span = tracer.as_deref().map(|t| t.span("server", "accept"));
+                if let Some(c) = &conn_counter {
+                    c.inc();
+                }
+                if s.set_nonblocking(true).is_err() {
+                    continue; // dead on arrival
+                }
+                let _ = s.set_nodelay(true);
+                dispatch(s);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if transient_accept_error(&e) => {
+                if let Some(c) = &retry_counter {
+                    c.inc();
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
 /// A running cache server.
 pub struct CacheServer {
     addr: SocketAddr,
@@ -374,6 +747,10 @@ pub struct CacheServer {
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     active: Arc<AtomicUsize>,
+    #[cfg(target_os = "linux")]
+    accept_wake: Option<Arc<WakeFd>>,
+    #[cfg(target_os = "linux")]
+    injectors: Vec<Arc<Injector>>,
 }
 
 impl CacheServer {
@@ -384,7 +761,8 @@ impl CacheServer {
     }
 
     /// [`start`](Self::start), recording per-op protocol metrics, accept
-    /// retries, and connection counts into `obs` when supplied.
+    /// retries, connection counts, and `reactor_*` counters into `obs`
+    /// when supplied.
     pub fn start_observed(
         store: Arc<Store>,
         clock: impl Clock,
@@ -394,8 +772,8 @@ impl CacheServer {
         Self::start_with(store, clock, addr, ServerConfig::default(), obs)
     }
 
-    /// The fully configurable entry point: worker-pool size and buffer
-    /// bounds come from `config`.
+    /// The fully configurable entry point: data plane, worker count, and
+    /// buffer bounds come from `config`.
     pub fn start_with(
         store: Arc<Store>,
         clock: impl Clock,
@@ -408,8 +786,9 @@ impl CacheServer {
 
     /// [`start_with`](Self::start_with) plus span tracing: when `tracer`
     /// is supplied the server records `server.*` spans (accepted
-    /// connections, busy poll passes, backpressure stalls) and the
-    /// protocol layer records per-request `protocol.*` spans.
+    /// connections, backpressure stalls), `reactor.*` spans
+    /// (`epoll_wait`, `wakeup`, `rearm`), and the protocol layer records
+    /// per-request `protocol.*` spans.
     pub fn start_full(
         store: Arc<Store>,
         clock: impl Clock,
@@ -419,8 +798,8 @@ impl CacheServer {
         tracer: Option<Arc<Tracer>>,
     ) -> std::io::Result<CacheServer> {
         let listener = TcpListener::bind(addr)?;
-        // Non-blocking accept: the loop can observe shutdown without
-        // depending on a wake-up connection, so `stop()` cannot hang.
+        // Non-blocking accept: pending-connection bursts drain without
+        // blocking the loop between them.
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -438,70 +817,162 @@ impl CacheServer {
             .as_ref()
             .map(|o| o.counter("server_accept_transient_errors_total"));
 
-        let n_workers = config.effective_workers();
-        let mut senders = Vec::with_capacity(n_workers);
-        let mut worker_handles = Vec::with_capacity(n_workers);
-        for w in 0..n_workers {
-            let (tx, rx) = mpsc::channel::<TcpStream>();
-            senders.push(tx);
-            let store = Arc::clone(&store);
-            let clock = Arc::clone(&clock);
-            let shutdown = Arc::clone(&shutdown);
-            let obs = proto_obs.clone();
-            let tracer = tracer.clone();
-            let cfg = config.clone();
-            let active = Arc::clone(&active);
-            let handle = std::thread::Builder::new()
-                .name(format!("cache-worker-{w}"))
-                .spawn(move || worker_loop(rx, store, clock, shutdown, obs, tracer, cfg, active))?;
-            worker_handles.push(handle);
+        let n_workers = config.effective_workers_for(store.shard_count());
+        if let Some(o) = &obs {
+            o.gauge("reactor_workers").set(n_workers as f64);
         }
 
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_tracer = tracer.clone();
-        let accept_handle = std::thread::Builder::new()
-            .name("cache-accept".to_string())
-            .spawn(move || {
-                let mut next = 0usize;
-                while !accept_shutdown.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((s, _)) => {
-                            let _accept_span =
-                                accept_tracer.as_deref().map(|t| t.span("server", "accept"));
-                            if let Some(c) = &conn_counter {
-                                c.inc();
-                            }
-                            if s.set_nonblocking(true).is_err() {
-                                continue; // dead on arrival
-                            }
-                            let _ = s.set_nodelay(true);
-                            // Round-robin shard the connection onto a
-                            // worker; a send error means that worker is
-                            // gone (shutdown race) and dropping the
-                            // stream closes the connection.
-                            let _ = senders[next % senders.len()].send(s);
-                            next = next.wrapping_add(1);
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(e) if transient_accept_error(&e) => {
-                            if let Some(c) = &retry_counter {
-                                c.inc();
-                            }
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(_) => break,
-                    }
+        #[cfg(target_os = "linux")]
+        {
+            let use_reactor = config.data_plane == DataPlane::Reactor;
+            let mut worker_handles = Vec::with_capacity(n_workers);
+            let mut injectors: Vec<Arc<Injector>> = Vec::new();
+            let mut senders: Vec<mpsc::Sender<TcpStream>> = Vec::new();
+            if use_reactor {
+                let metrics = obs.as_ref().map(|o| Arc::new(ReactorMetrics::new(o)));
+                for w in 0..n_workers {
+                    let poller = Poller::new()?;
+                    let injector = Arc::new(Injector {
+                        queue: parking_lot::Mutex::new(Vec::new()),
+                        wake: WakeFd::new()?,
+                    });
+                    poller.add(injector.wake.raw_fd(), WAKE_TOKEN, Interest::READ)?;
+                    injectors.push(Arc::clone(&injector));
+                    let store = Arc::clone(&store);
+                    let clock = Arc::clone(&clock);
+                    let shutdown = Arc::clone(&shutdown);
+                    let obs = proto_obs.clone();
+                    let tracer = tracer.clone();
+                    let metrics = metrics.clone();
+                    let cfg = config.clone();
+                    let active = Arc::clone(&active);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("cache-reactor-{w}"))
+                        .spawn(move || {
+                            reactor_worker_loop(
+                                poller, injector, store, clock, shutdown, obs, tracer, metrics,
+                                cfg, active,
+                            )
+                        })?;
+                    worker_handles.push(handle);
                 }
-            })?;
-        Ok(CacheServer {
-            addr: local,
-            shutdown,
-            accept_handle: Some(accept_handle),
-            worker_handles,
-            active,
-        })
+            } else {
+                for w in 0..n_workers {
+                    let (tx, rx) = mpsc::channel::<TcpStream>();
+                    senders.push(tx);
+                    let store = Arc::clone(&store);
+                    let clock = Arc::clone(&clock);
+                    let shutdown = Arc::clone(&shutdown);
+                    let obs = proto_obs.clone();
+                    let tracer = tracer.clone();
+                    let cfg = config.clone();
+                    let active = Arc::clone(&active);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("cache-worker-{w}"))
+                        .spawn(move || {
+                            worker_loop(rx, store, clock, shutdown, obs, tracer, cfg, active)
+                        })?;
+                    worker_handles.push(handle);
+                }
+            }
+
+            // The accept loop blocks in its own poller; stop() pokes the
+            // wakeup fd instead of racing a sleep with a nudge connection.
+            let accept_poller = Poller::new()?;
+            let accept_wake = Arc::new(WakeFd::new()?);
+            accept_poller.add(listener.as_raw_fd(), 0, Interest::READ)?;
+            accept_poller.add(accept_wake.raw_fd(), 1, Interest::READ)?;
+            let accept_shutdown = Arc::clone(&shutdown);
+            let accept_tracer = tracer.clone();
+            let wake = Arc::clone(&accept_wake);
+            let dispatch_injectors: Vec<Arc<Injector>> = injectors.clone();
+            let accept_handle = std::thread::Builder::new()
+                .name("cache-accept".to_string())
+                .spawn(move || {
+                    // Round-robin connection sharding onto workers; a
+                    // dropped handoff means that worker is gone (shutdown
+                    // race) and dropping the stream closes the connection.
+                    let mut next = 0usize;
+                    let dispatch = move |s: TcpStream| {
+                        if use_reactor {
+                            let inj = &dispatch_injectors[next % dispatch_injectors.len()];
+                            inj.queue.lock().push(s);
+                            inj.wake.wake();
+                        } else {
+                            let _ = senders[next % senders.len()].send(s);
+                        }
+                        next = next.wrapping_add(1);
+                    };
+                    accept_loop_reactor(
+                        listener,
+                        accept_poller,
+                        wake,
+                        accept_shutdown,
+                        dispatch,
+                        conn_counter,
+                        retry_counter,
+                        accept_tracer,
+                    );
+                })?;
+            Ok(CacheServer {
+                addr: local,
+                shutdown,
+                accept_handle: Some(accept_handle),
+                worker_handles,
+                active,
+                accept_wake: Some(accept_wake),
+                injectors,
+            })
+        }
+
+        #[cfg(not(target_os = "linux"))]
+        {
+            let mut worker_handles = Vec::with_capacity(n_workers);
+            let mut senders: Vec<mpsc::Sender<TcpStream>> = Vec::new();
+            for w in 0..n_workers {
+                let (tx, rx) = mpsc::channel::<TcpStream>();
+                senders.push(tx);
+                let store = Arc::clone(&store);
+                let clock = Arc::clone(&clock);
+                let shutdown = Arc::clone(&shutdown);
+                let obs = proto_obs.clone();
+                let tracer = tracer.clone();
+                let cfg = config.clone();
+                let active = Arc::clone(&active);
+                let handle = std::thread::Builder::new()
+                    .name(format!("cache-worker-{w}"))
+                    .spawn(move || {
+                        worker_loop(rx, store, clock, shutdown, obs, tracer, cfg, active)
+                    })?;
+                worker_handles.push(handle);
+            }
+            let accept_shutdown = Arc::clone(&shutdown);
+            let accept_tracer = tracer.clone();
+            let accept_handle = std::thread::Builder::new()
+                .name("cache-accept".to_string())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    let dispatch = move |s: TcpStream| {
+                        let _ = senders[next % senders.len()].send(s);
+                        next = next.wrapping_add(1);
+                    };
+                    accept_loop_poll(
+                        listener,
+                        accept_shutdown,
+                        dispatch,
+                        conn_counter,
+                        retry_counter,
+                        accept_tracer,
+                    );
+                })?;
+            Ok(CacheServer {
+                addr: local,
+                shutdown,
+                accept_handle: Some(accept_handle),
+                worker_handles,
+                active,
+            })
+        }
     }
 
     /// The bound address.
@@ -514,19 +985,45 @@ impl CacheServer {
         self.active.load(Ordering::SeqCst)
     }
 
+    /// The resolved worker count (monitoring/bench-metadata hook).
+    pub fn workers(&self) -> usize {
+        self.worker_handles.len()
+    }
+
     /// Signals shutdown and quiesces: joins the accept loop and every
     /// worker, so no server thread outlives this call.
+    ///
+    /// Deterministic and fast: every event loop carries a wakeup fd that
+    /// is poked here, so stop returns in milliseconds even with thousands
+    /// of idle connections open (regression-tested at < 50 ms). The old
+    /// best-effort self-connect nudge — which could miss a poll-sleeping
+    /// accept loop, or hang when the bind address was unroutable from
+    /// localhost — survives only on the non-Linux fallback plane.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Best-effort nudge so a poll-sleeping accept loop notices
-        // promptly; failure is fine (the loop polls).
-        let _ = TcpStream::connect(self.addr);
+        #[cfg(target_os = "linux")]
+        {
+            if let Some(w) = &self.accept_wake {
+                w.wake();
+            }
+            for inj in &self.injectors {
+                inj.wake.wake();
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            // Best-effort nudge so a poll-sleeping accept loop notices
+            // promptly; failure is fine (the loop polls).
+            let _ = TcpStream::connect(self.addr);
+        }
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
         }
+        #[cfg(target_os = "linux")]
+        self.injectors.clear();
     }
 }
 
@@ -607,6 +1104,7 @@ impl CacheClient {
 mod tests {
     use super::*;
     use crate::store::StoreConfig;
+    use std::time::{Duration, Instant};
 
     fn start_server() -> (CacheServer, Arc<Store>, Arc<LogicalClock>) {
         let store = Arc::new(Store::new(StoreConfig {
@@ -619,9 +1117,42 @@ mod tests {
         (server, store, clock)
     }
 
+    fn start_pool_server() -> (CacheServer, Arc<Store>, Arc<LogicalClock>) {
+        let store = Arc::new(Store::new(StoreConfig {
+            capacity_bytes: 4 << 20,
+            shards: 4,
+        }));
+        let clock = LogicalClock::new();
+        let server = CacheServer::start_with(
+            Arc::clone(&store),
+            Arc::clone(&clock),
+            "127.0.0.1:0",
+            ServerConfig {
+                data_plane: DataPlane::ThreadPool,
+                ..ServerConfig::default()
+            },
+            None,
+        )
+        .unwrap();
+        (server, store, clock)
+    }
+
     #[test]
     fn set_get_delete_over_tcp() {
         let (server, _store, _clock) = start_server();
+        let mut client = CacheClient::connect(server.addr()).unwrap();
+        assert_eq!(client.set("greeting", b"hello world", 0).unwrap(), "STORED");
+        assert_eq!(
+            client.get("greeting").unwrap().as_deref(),
+            Some(b"hello world".as_ref())
+        );
+        assert_eq!(client.delete("greeting").unwrap(), "DELETED");
+        assert_eq!(client.get("greeting").unwrap(), None);
+    }
+
+    #[test]
+    fn set_get_delete_over_tcp_thread_pool_plane() {
+        let (server, _store, _clock) = start_pool_server();
         let mut client = CacheClient::connect(server.addr()).unwrap();
         assert_eq!(client.set("greeting", b"hello world", 0).unwrap(), "STORED");
         assert_eq!(
@@ -666,7 +1197,7 @@ mod tests {
     }
 
     #[test]
-    fn pipelined_batch_through_worker_pool() {
+    fn pipelined_batch_through_reactor() {
         // One write carrying many commands; the responses must come back
         // complete, in order, with nothing lost or duplicated.
         let (server, _store, _clock) = start_server();
@@ -714,19 +1245,42 @@ mod tests {
     fn stop_drains_in_flight_connections() {
         let (mut server, _store, _clock) = start_server();
         // Open several connections and leave them idle (their sockets sit
-        // in a worker's poll set).
+        // in a worker's readiness set).
         let clients: Vec<_> = (0..3)
             .map(|_| CacheClient::connect(server.addr()).unwrap())
             .collect();
-        // Give the pool a moment to adopt them all.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-        while server.active_connections() < 3 && std::time::Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(5));
+        // Give the reactor a moment to adopt them all.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(server.active_connections(), 3);
         server.stop();
         // Quiesced: the workers dropped everything they owned.
         assert_eq!(server.active_connections(), 0);
+        drop(clients);
+    }
+
+    #[test]
+    fn stop_returns_under_50ms_with_idle_connections_open() {
+        // The shutdown-latency regression test for the old "best-effort
+        // nudge": stop() must not wait out accept polls or idle sleeps.
+        let (mut server, _store, _clock) = start_server();
+        let clients: Vec<_> = (0..8)
+            .map(|_| CacheClient::connect(server.addr()).unwrap())
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.active_connections() < 8 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.active_connections(), 8);
+        let t0 = Instant::now();
+        server.stop();
+        let took = t0.elapsed();
+        assert!(
+            took < Duration::from_millis(50),
+            "stop() took {took:?} with idle connections open"
+        );
         drop(clients);
     }
 
@@ -738,14 +1292,14 @@ mod tests {
             drop(CacheClient::connect(server.addr()).unwrap());
         }
         let _keep = CacheClient::connect(server.addr()).unwrap();
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             let n = server.active_connections();
-            if n <= 1 || std::time::Instant::now() > deadline {
+            if n <= 1 || Instant::now() > deadline {
                 assert!(n <= 1, "closed connections not reaped: {n} tracked");
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(10));
         }
         server.stop();
     }
@@ -772,7 +1326,7 @@ mod tests {
             None,
         )
         .unwrap();
-        assert_eq!(server.worker_handles.len(), 2);
+        assert_eq!(server.workers(), 2);
         // Both workers serve traffic (round-robin hands them alternate
         // connections).
         for _ in 0..2 {
@@ -783,7 +1337,109 @@ mod tests {
     }
 
     #[test]
-    fn traced_server_records_server_and_protocol_spans() {
+    fn auto_worker_sizing_follows_parallelism_and_shards() {
+        let cfg = ServerConfig::default();
+        let par = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Auto-sizing is parallelism clamped by the shard count — no
+        // arbitrary ceiling (the old clamp was 1..=4).
+        assert_eq!(cfg.effective_workers_for(1024), par.clamp(1, 1024));
+        assert_eq!(cfg.effective_workers_for(1), 1);
+        assert_eq!(cfg.effective_workers_for(0), 1, "degenerate shard count");
+        assert_eq!(cfg.effective_workers(), par);
+        // Explicit counts are taken literally, shards notwithstanding.
+        let explicit = ServerConfig {
+            workers: 7,
+            ..ServerConfig::default()
+        };
+        assert_eq!(explicit.effective_workers_for(2), 7);
+    }
+
+    #[test]
+    fn slow_reader_buffers_release_burst_capacity_once_drained() {
+        // A slow reader legitimately balloons pending_out up to the
+        // backpressure cap; once the peer drains, the burst capacity must
+        // be released (the old code retained it for the connection's
+        // lifetime — unbounded aggregate memory across many connections).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        peer.set_nonblocking(true).unwrap();
+
+        let store = Store::with_capacity(64 << 20);
+        let value_len = 8 * 1024;
+        let framed = crate::protocol::encode_value(0, &vec![b'v'; value_len]);
+        store.set_at(b"big".to_vec(), framed, 0, None);
+
+        let cfg = ServerConfig {
+            max_pending_out: 1 << 20, // 1 MiB backpressure cap
+            ..ServerConfig::default()
+        };
+        let mut conn = Conn::new(stream);
+        let mut buf = vec![0u8; cfg.read_chunk];
+
+        // The peer pipelines 2000 gets of an 8 KiB value (≈16 MiB of
+        // responses) and reads nothing yet.
+        let n_gets = 2000usize;
+        let req = "get big\r\n".repeat(n_gets);
+        peer.write_all(req.as_bytes()).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let mut ballooned = 0usize;
+        for _ in 0..50 {
+            match conn.tick(&store, 0, None, None, &cfg, &mut buf) {
+                ConnState::Open { .. } => {}
+                ConnState::Closed => panic!("connection died while serving"),
+            }
+            ballooned = ballooned.max(conn.pending_out.capacity());
+            if conn.backpressured(&cfg) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            ballooned > BUF_RETAIN_MAX,
+            "test did not balloon the buffer (capacity {ballooned})"
+        );
+
+        // Now the peer drains everything while the server keeps flushing.
+        let expected: usize = n_gets * ("VALUE big 0 \r\n\r\nEND\r\n".len() + 4 + value_len);
+        let mut drained = 0usize;
+        let mut chunk = vec![0u8; 256 * 1024];
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while drained < expected {
+            assert!(
+                Instant::now() < deadline,
+                "drain stalled at {drained} bytes"
+            );
+            match peer.read(&mut chunk) {
+                Ok(0) => panic!("server closed mid-drain"),
+                Ok(n) => drained += n,
+                Err(e) if retriable_io(&e) => {}
+                Err(e) => panic!("peer read failed: {e}"),
+            }
+            match conn.tick(&store, 0, None, None, &cfg, &mut buf) {
+                ConnState::Open { .. } => {}
+                ConnState::Closed => panic!("connection died while draining"),
+            }
+        }
+        assert!(conn.pending_out.is_empty(), "output not fully flushed");
+        assert_eq!(conn.out_cursor, 0, "cursor must reset on a full drain");
+        assert!(
+            conn.pending_out.capacity() <= BUF_RETAIN_MAX,
+            "burst capacity retained: {} bytes",
+            conn.pending_out.capacity()
+        );
+        assert!(
+            conn.pending_in.capacity() <= BUF_RETAIN_MAX,
+            "input burst capacity retained: {} bytes",
+            conn.pending_in.capacity()
+        );
+    }
+
+    #[test]
+    fn traced_server_records_reactor_and_protocol_spans() {
         let store = Arc::new(Store::new(StoreConfig {
             capacity_bytes: 4 << 20,
             shards: 4,
@@ -808,10 +1464,42 @@ mod tests {
         assert!(cats.contains(&"protocol"), "{cats:?}");
         let names: std::collections::BTreeSet<&'static str> =
             tracer.spans().iter().map(|r| r.name).collect();
-        for expect in ["accept", "poll_busy", "serve"] {
+        for expect in ["accept", "serve"] {
             assert!(names.contains(expect), "missing {expect:?}: {names:?}");
         }
+        #[cfg(target_os = "linux")]
+        {
+            assert!(cats.contains(&"reactor"), "{cats:?}");
+            for expect in ["epoll_wait", "wakeup"] {
+                assert!(names.contains(expect), "missing {expect:?}: {names:?}");
+            }
+        }
         spotcache_obs::export::validate_json(&tracer.chrome_trace_json()).unwrap();
+    }
+
+    #[test]
+    fn traced_thread_pool_still_records_poll_busy() {
+        let store = Arc::new(Store::with_capacity(4 << 20));
+        let clock = LogicalClock::new();
+        let tracer = Tracer::all(8192);
+        let mut server = CacheServer::start_full(
+            Arc::clone(&store),
+            clock,
+            "127.0.0.1:0",
+            ServerConfig {
+                data_plane: DataPlane::ThreadPool,
+                ..ServerConfig::default()
+            },
+            None,
+            Some(Arc::clone(&tracer)),
+        )
+        .unwrap();
+        let mut client = CacheClient::connect(server.addr()).unwrap();
+        client.set("k", b"v", 0).unwrap();
+        server.stop();
+        let names: std::collections::BTreeSet<&'static str> =
+            tracer.spans().iter().map(|r| r.name).collect();
+        assert!(names.contains("poll_busy"), "{names:?}");
     }
 
     #[test]
@@ -841,6 +1529,12 @@ mod tests {
         assert_eq!(obs.counter("cache_get_hits_total").get(), 1);
         assert_eq!(obs.counter("cache_get_misses_total").get(), 1);
         assert!(obs.histogram("cache_op_latency_us").count() >= 3);
+        assert!(obs.gauge("reactor_workers").get() >= 1.0);
+        #[cfg(target_os = "linux")]
+        {
+            assert!(obs.counter("reactor_epoll_waits_total").get() >= 1);
+            assert!(obs.counter("reactor_wakeups_total").get() >= 1);
+        }
         // Journal timestamps come from the logical clock, not wall time.
         assert!(obs.journal().events().iter().all(|e| e.t == 42));
     }

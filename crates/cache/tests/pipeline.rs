@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use spotcache_cache::protocol::{serve, serve_into, serve_traced_into};
-use spotcache_cache::server::{CacheServer, LogicalClock, ServerConfig};
+use spotcache_cache::server::{CacheServer, DataPlane, LogicalClock, ServerConfig};
 use spotcache_cache::store::{Store, StoreConfig};
 use spotcache_obs::Tracer;
 
@@ -131,14 +131,85 @@ proptest! {
         prop_assert!(tracer.len() > 0, "enabled tracer recorded nothing");
         prop_assert!(tracer.spans().iter().all(|r| r.cat == "protocol"));
     }
+
+    /// The readiness reactor and the legacy thread pool are
+    /// interchangeable data planes: the same op stream, written over TCP
+    /// at the same arbitrary chunk boundaries, comes back byte-identical
+    /// from both — and identical to single-shot `serve` — leaving
+    /// identical store state behind. (Off Linux both requests resolve to
+    /// the pool and the property degenerates to self-consistency.)
+    #[test]
+    fn reactor_and_thread_pool_planes_are_byte_identical(
+        ops in proptest::collection::vec((0u8..7, 0u8..12, 0u8..=255u8), 1..40),
+        cuts in proptest::collection::vec(0u32..1000, 0..6),
+    ) {
+        let input = build_stream(&ops);
+
+        let s1 = fresh_store();
+        let (expect, _) = serve(&s1, &input, 0);
+
+        let mut points: Vec<usize> = cuts
+            .iter()
+            .map(|&c| c as usize * input.len() / 1000)
+            .collect();
+        points.push(input.len());
+        points.sort_unstable();
+
+        let run = |plane: DataPlane| {
+            let store = Arc::new(fresh_store());
+            let clock = LogicalClock::new();
+            let mut server = CacheServer::start_full(
+                Arc::clone(&store),
+                clock,
+                "127.0.0.1:0",
+                ServerConfig { workers: 1, data_plane: plane, ..ServerConfig::default() },
+                None,
+                None,
+            )
+            .unwrap();
+            let mut sock = TcpStream::connect(server.addr()).unwrap();
+            sock.set_nodelay(true).unwrap();
+            sock.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                .unwrap();
+            let mut fed = 0usize;
+            for &p in &points {
+                if p > fed {
+                    sock.write_all(&input[fed..p]).unwrap();
+                    fed = p;
+                }
+            }
+            let mut got = vec![0u8; expect.len()];
+            sock.read_exact(&mut got).expect("server under-delivered");
+            drop(sock);
+            server.stop();
+            (got, store)
+        };
+
+        let (got_reactor, store_reactor) = run(DataPlane::Reactor);
+        let (got_pool, store_pool) = run(DataPlane::ThreadPool);
+
+        prop_assert_eq!(&got_reactor, &expect, "reactor diverged from serve()");
+        prop_assert_eq!(&got_pool, &expect, "thread pool diverged from serve()");
+        prop_assert_eq!(&got_reactor, &got_pool, "planes diverged from each other");
+        prop_assert_eq!(store_reactor.stats(), store_pool.stats());
+        prop_assert_eq!(store_reactor.stats(), s1.stats());
+        prop_assert_eq!(store_reactor.len(), s1.len());
+        prop_assert_eq!(store_reactor.used_bytes(), s1.used_bytes());
+    }
 }
 
-/// N concurrent clients hammer the worker-pool server with pipelined
-/// batches on thread-unique keys; every batch's response must come back
-/// complete, in order, with nothing lost or duplicated.
+/// N concurrent clients hammer the (default: reactor) server with
+/// pipelined batches on thread-unique keys; every batch's response must
+/// come back complete, in order, with nothing lost or duplicated.
 #[test]
 fn hammer_pipelined_clients_lose_nothing() {
-    hammer(None);
+    hammer(None, DataPlane::default());
+}
+
+/// The same hammer against the legacy thread-pool plane.
+#[test]
+fn hammer_thread_pool_plane_loses_nothing() {
+    hammer(None, DataPlane::ThreadPool);
 }
 
 /// The same hammer with span tracing enabled on the server: responses
@@ -146,14 +217,14 @@ fn hammer_pipelined_clients_lose_nothing() {
 #[test]
 fn hammer_with_tracing_enabled_stays_byte_exact() {
     let tracer = Tracer::all(1 << 16);
-    hammer(Some(Arc::clone(&tracer)));
+    hammer(Some(Arc::clone(&tracer)), DataPlane::default());
     let cats = tracer.categories();
     assert!(cats.contains(&"protocol"), "{cats:?}");
     assert!(cats.contains(&"server"), "{cats:?}");
     spotcache_obs::export::validate_json(&tracer.chrome_trace_json()).unwrap();
 }
 
-fn hammer(tracer: Option<Arc<Tracer>>) {
+fn hammer(tracer: Option<Arc<Tracer>>, data_plane: DataPlane) {
     let store = Arc::new(fresh_store());
     let clock = LogicalClock::new();
     let mut server = CacheServer::start_full(
@@ -162,6 +233,7 @@ fn hammer(tracer: Option<Arc<Tracer>>) {
         "127.0.0.1:0",
         ServerConfig {
             workers: 2,
+            data_plane,
             ..ServerConfig::default()
         },
         None,
