@@ -1,0 +1,54 @@
+#![cfg(target_os = "linux")]
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spotcache_cache::server::{CacheClient, CacheServer, LogicalClock};
+use spotcache_cache::store::{Store, StoreConfig};
+
+fn cpu_ticks() -> u64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap();
+    let rest = &stat[stat.rfind(')').unwrap() + 2..];
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields[11].parse().unwrap();
+    let stime: u64 = fields[12].parse().unwrap();
+    utime + stime
+}
+
+#[test]
+fn half_closed_slow_reader_cpu() {
+    let store = Arc::new(Store::new(StoreConfig {
+        capacity_bytes: 64 << 20,
+        shards: 8,
+    }));
+    let clock = LogicalClock::new();
+    let mut server = CacheServer::start(Arc::clone(&store), clock, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // Store a large value, then pipeline many gets and half-close.
+    let mut c = CacheClient::connect(addr).unwrap();
+    let val = vec![b'v'; 16 * 1024];
+    c.set("big", &val, 0).unwrap();
+    drop(c);
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    let req = "get big\r\n".repeat(4000); // ~64 MiB of responses
+    s.write_all(req.as_bytes()).unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+
+    // Read slowly: small chunks with sleeps, while measuring server CPU.
+    std::thread::sleep(Duration::from_millis(200));
+    let t0 = cpu_ticks();
+    let start = Instant::now();
+    let mut buf = vec![0u8; 4096];
+    while start.elapsed() < Duration::from_secs(2) {
+        let _ = s.read(&mut buf);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let spent = cpu_ticks() - t0;
+    eprintln!("CPU ticks burned over 2s with half-closed slow reader: {spent} (~{} ms)", spent * 10);
+    server.stop();
+    assert!(spent <= 25, "hot spin detected: {spent} ticks (~{} ms CPU)", spent * 10);
+}
