@@ -27,11 +27,28 @@ cargo run --release -q -p spotcache-bench --bin obs_snapshot -- --metrics-out "$
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$snap" 2>/dev/null \
     || { echo "obs snapshot is not valid JSON"; exit 1; }
 
-echo "==> cache_loadgen smoke test"
+echo "==> cache_loadgen smoke test (incl. hot-key contention A/B)"
+# The smoke run drives the hot-shard read-path A/B itself (4 readers,
+# single hot shard) and asserts deferred >= inline in-process; re-check
+# the extended snapshot schema and the A/B invariant here so the gate
+# does not rely on the bin's asserts alone.
 cargo run --release -q -p spotcache-bench --bin cache_loadgen -- --smoke --out "$lg" \
     | grep -q "loadgen OK"
-python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$lg" 2>/dev/null \
-    || { echo "loadgen snapshot is not valid JSON"; exit 1; }
+python3 - "$lg" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+g = doc["gauges"]
+for key in (
+    "loadgen_baseline_ops_per_sec", "loadgen_pipelined_ops_per_sec",
+    "loadgen_pipeline_speedup", "loadgen_hot_inline_ops_per_sec",
+    "loadgen_hot_deferred_ops_per_sec", "loadgen_hot_speedup",
+    "loadgen_hot_keys", "loadgen_hot_readers",
+):
+    assert key in g, f"BENCH_cache schema: missing gauge {key}"
+assert g["loadgen_hot_readers"] >= 4, "hot-shard A/B needs >=4 reader threads"
+assert g["loadgen_hot_deferred_ops_per_sec"] >= g["loadgen_hot_inline_ops_per_sec"], \
+    "deferred read path lost the hot-key contention smoke"
+PY
 
 echo "==> trace smoke test (spans from every instrumented layer)"
 tr="$(mktemp /tmp/trace_dump.XXXXXX.json)"

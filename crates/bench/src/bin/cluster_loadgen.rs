@@ -587,12 +587,16 @@ fn main() {
             p.ops_per_sec, p.p50_us, p.p95_us, p.p99_us
         )
     };
+    // Which store read plane the nodes ran — benchmark metadata so a
+    // figure can always be tied to the concurrency plane that produced it.
+    let read_path = format!("{:?}", nodes[0].store.read_path().mode).to_lowercase();
     let json = format!(
         "{{\"schema\":\"spotcache-cluster-v1\",\"smoke\":{},\"seed\":{},\
          \"nodes\":{},\"conns\":{},\"pipeline_depth\":{},\"key_space\":{},\
          \"get_ratio\":{GET_RATIO},\"value_len\":{VALUE_LEN},\
          \"hot_replicas\":{HOT_REPLICAS},\"shards_per_node\":{SHARDS_PER_NODE},\
          \"workers_per_node\":{workers_per_node},\
+         \"read_path\":\"{read_path}\",\
          \"single_server_pipelined_ops_per_sec\":{},\
          \"baseline\":{},\"pipelined\":{},\"pipelined_runs\":[{}],\
          \"per_node\":[{}]}}",

@@ -6,10 +6,17 @@
 //! The paper's system stores its cache contents in stock memcached; this
 //! crate provides the equivalent building block in Rust:
 //!
-//! * [`lru`] — an index-based intrusive LRU list (no `unsafe`),
-//! * [`store`] — a sharded store with per-shard locks, least-recently-used
-//!   eviction under a byte budget, optional TTLs against a logical clock,
-//!   and hit/miss/eviction statistics, and
+//! * [`lru`] — an index-based intrusive LRU list (no `unsafe`) with
+//!   per-slot generation counters, and
+//! * [`touch`] — lock-free bounded recency rings for the deferred read
+//!   path (per-worker lanes, drop-oldest overflow), and
+//! * [`wheel`] — a hierarchical timer wheel for proactive TTL expiry,
+//!   advanced on the touch-flush cadence, and
+//! * [`store`] — a sharded store whose steady-state GETs take only a
+//!   **shared** lock (recency is recorded into touch rings and applied in
+//!   batches under the write lock), with least-recently-used eviction
+//!   under a byte budget, optional TTLs against a logical clock, and
+//!   hit/miss/eviction statistics, and
 //! * [`node`] — a cache *node*: one store sized to an instance's RAM, the
 //!   unit the router places data on and the simulator kills on revocation,
 //!   and
@@ -40,6 +47,8 @@ pub mod replication;
 pub mod server;
 pub mod slab;
 pub mod store;
+pub mod touch;
+pub mod wheel;
 
 pub use lru::LruList;
 pub use node::CacheNode;
@@ -56,5 +65,6 @@ pub use server::{
 };
 pub use slab::{slab_efficiency, SlabAllocator, SlabClasses, SlabError};
 pub use store::{
-    CacheStats, MutationSink, SetOutcome, SetPolicy, Store, StoreConfig, StoreSnapshot,
+    CacheStats, FlushReport, MutationSink, ReadPath, ReadPathConfig, SetOutcome, SetPolicy, Store,
+    StoreConfig, StoreSnapshot,
 };

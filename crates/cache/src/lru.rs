@@ -4,6 +4,13 @@
 //! structure needs no `unsafe` and no per-operation allocation once the slab
 //! has grown. Each node carries a caller-supplied payload `T` (the store
 //! keeps the cache key there so eviction can find the map entry).
+//!
+//! Slots are reused, so a bare index can dangle across a remove/push pair.
+//! Each slot therefore carries a **generation counter**, bumped on every
+//! removal: holders of an `(idx, gen)` pair taken while a node was live
+//! (the store's deferred touch records and TTL wheel records) can later
+//! check [`LruList::is_live_gen`] or use [`LruList::touch_if`] to apply
+//! only if the slot still holds the same insertion.
 
 /// Sentinel index meaning "no node".
 const NIL: usize = usize::MAX;
@@ -12,6 +19,7 @@ const NIL: usize = usize::MAX;
 struct Node<T> {
     prev: usize,
     next: usize,
+    gen: u32,
     value: Option<T>,
 }
 
@@ -60,9 +68,11 @@ impl<T> LruList<T> {
     pub fn push_front(&mut self, value: T) -> usize {
         let idx = match self.free.pop() {
             Some(i) => {
+                let gen = self.nodes[i].gen;
                 self.nodes[i] = Node {
                     prev: NIL,
                     next: self.head,
+                    gen,
                     value: Some(value),
                 };
                 i
@@ -71,6 +81,7 @@ impl<T> LruList<T> {
                 self.nodes.push(Node {
                     prev: NIL,
                     next: self.head,
+                    gen: 0,
                     value: Some(value),
                 });
                 self.nodes.len() - 1
@@ -124,6 +135,18 @@ impl<T> LruList<T> {
         }
     }
 
+    /// Moves a live node to the front only if its generation still matches
+    /// `gen`; returns whether the touch was applied. This is the batched
+    /// touch-flush entry point: a stale record (the slot was removed and
+    /// possibly reused since the reader captured it) is dropped silently.
+    pub fn touch_if(&mut self, idx: usize, gen: u32) -> bool {
+        if !self.is_live_gen(idx, gen) {
+            return false;
+        }
+        self.touch(idx);
+        true
+    }
+
     /// Removes a live node, returning its payload.
     ///
     /// # Panics
@@ -135,9 +158,31 @@ impl<T> LruList<T> {
         let value = self.nodes[idx].value.take().expect("live node has a value");
         self.nodes[idx].prev = NIL;
         self.nodes[idx].next = NIL;
+        self.nodes[idx].gen = self.nodes[idx].gen.wrapping_add(1);
         self.free.push(idx);
         self.len -= 1;
         value
+    }
+
+    /// Empties the list while keeping the slab and free-list allocations,
+    /// and bumps every removed slot's generation so outstanding
+    /// `(idx, gen)` records (touch buffers, wheel entries) can never match
+    /// a node inserted after the clear.
+    pub fn clear(&mut self) {
+        let mut cur = self.head;
+        while cur != NIL {
+            let node = &mut self.nodes[cur];
+            node.value = None;
+            node.gen = node.gen.wrapping_add(1);
+            let next = node.next;
+            node.prev = NIL;
+            node.next = NIL;
+            self.free.push(cur);
+            cur = next;
+        }
+        self.head = NIL;
+        self.tail = NIL;
+        self.len = 0;
     }
 
     /// Removes and returns the least-recently-used payload.
@@ -158,6 +203,26 @@ impl<T> LruList<T> {
     /// Whether `idx` refers to a live node.
     pub fn is_live(&self, idx: usize) -> bool {
         idx < self.nodes.len() && self.nodes[idx].value.is_some()
+    }
+
+    /// The current generation of slot `idx` (0 for never-used slots).
+    pub fn gen_of(&self, idx: usize) -> u32 {
+        self.nodes.get(idx).map_or(0, |n| n.gen)
+    }
+
+    /// Whether `idx` refers to a live node whose generation is still `gen`.
+    pub fn is_live_gen(&self, idx: usize, gen: u32) -> bool {
+        idx < self.nodes.len() && self.nodes[idx].gen == gen && self.nodes[idx].value.is_some()
+    }
+
+    /// The payload of a live node (`None` for dead or out-of-range slots).
+    pub fn payload(&self, idx: usize) -> Option<&T> {
+        self.nodes.get(idx).and_then(|n| n.value.as_ref())
+    }
+
+    /// Upper bound on slot indices ever handed out (the slab size).
+    pub fn slot_capacity(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Iterates payloads from most- to least-recently-used.
@@ -228,6 +293,37 @@ mod tests {
         let b = l.push_front(2);
         assert_eq!(a, b, "freed slot should be reused");
         assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn generations_invalidate_reused_slots() {
+        let mut l = LruList::new();
+        let a = l.push_front(1);
+        let gen0 = l.gen_of(a);
+        assert!(l.is_live_gen(a, gen0));
+        l.remove(a);
+        assert!(!l.is_live_gen(a, gen0), "removal invalidates the gen");
+        let b = l.push_front(2);
+        assert_eq!(a, b);
+        assert_ne!(l.gen_of(b), gen0, "reused slot has a fresh gen");
+        assert!(!l.touch_if(b, gen0), "stale touch is dropped");
+        assert!(l.touch_if(b, l.gen_of(b)), "current-gen touch applies");
+        assert_eq!(l.payload(b), Some(&2));
+    }
+
+    #[test]
+    fn clear_bumps_generations_and_reuses_slab() {
+        let mut l = LruList::new();
+        let a = l.push_front("a");
+        let b = l.push_front("b");
+        let (ga, gb) = (l.gen_of(a), l.gen_of(b));
+        l.clear();
+        assert!(l.is_empty());
+        assert!(l.front().is_none() && l.back().is_none());
+        assert!(!l.is_live_gen(a, ga) && !l.is_live_gen(b, gb));
+        let c = l.push_front("c");
+        assert!(c == a || c == b, "slab slots are reused after clear");
+        assert_eq!(l.iter().copied().collect::<Vec<_>>(), vec!["c"]);
     }
 
     #[test]

@@ -584,7 +584,9 @@ fn exec_mutation(
             }
         }
         Request::Delete { key, noreply } => {
-            let found = store.delete(key);
+            // TTL-aware: deleting an expired-but-unreaped item purges it
+            // but answers NOT_FOUND, like memcached.
+            let found = store.delete_at(key, now);
             if !noreply {
                 out.extend_from_slice(if found {
                     b"DELETED\r\n".as_ref()
@@ -668,8 +670,10 @@ fn exec_mutation(
             }
         }
         Request::Stats => {
-            // One sweep over the shard locks for every aggregate field.
-            let snap = store.snapshot();
+            // One sweep over the shard locks for every aggregate field;
+            // TTL-aware at `now`, so expired-but-unreaped items don't
+            // inflate `curr_items`/`bytes` (and pending touches flush).
+            let snap = store.snapshot_at(now);
             for (k, v) in [
                 ("get_hits", snap.stats.hits),
                 ("get_misses", snap.stats.misses),

@@ -101,9 +101,16 @@ impl Interest {
     };
 
     fn mask(self) -> u32 {
-        let mut m = sys::EPOLLRDHUP;
+        let mut m = 0;
         if self.readable {
-            m |= sys::EPOLLIN;
+            // RDHUP rides with read interest only. Arming it
+            // unconditionally hot-spins a backpressured half-closed
+            // connection: read interest off, socket unwritable, yet the
+            // level-triggered RDHUP re-fires on every wait. A write-only
+            // registration still learns of aborts via EPOLLHUP/EPOLLERR,
+            // which epoll always reports, and sees the orderly half-close
+            // as soon as backpressure clears and read interest re-arms.
+            m |= sys::EPOLLIN | sys::EPOLLRDHUP;
         }
         if self.writable {
             m |= sys::EPOLLOUT;

@@ -450,6 +450,10 @@ fn worker_loop(
                 }
             }
         }
+        // Apply deferred recency touches and reap due TTLs between passes.
+        // Shards with idle rings and no due wheel deadline are skipped
+        // without locking, so an idle spin costs a few atomic loads.
+        store.flush_touches(now);
         // Only passes that transferred bytes become spans — an idle
         // spinning worker would otherwise flood the trace buffer.
         if moved {
@@ -635,6 +639,11 @@ fn reactor_worker_loop(
                 }
             }
         }
+        // Between event batches: apply deferred recency touches and reap
+        // due TTLs. A fully idle reactor parks in epoll_wait and flushes
+        // on the next batch — writers flush opportunistically anyway, so
+        // nothing is lost, and idle connections still cost zero CPU.
+        store.flush_touches(clock.now());
     }
     // Shutdown (or poller failure): drop everything we own, keeping the
     // gauge honest. Queued-but-never-adopted connections were never
@@ -820,6 +829,9 @@ impl CacheServer {
         let n_workers = config.effective_workers_for(store.shard_count());
         if let Some(o) = &obs {
             o.gauge("reactor_workers").set(n_workers as f64);
+            // Register the store_* / ttl_wheel_* read-path telemetry; the
+            // per-shard atomics fold into the registry on the flush cadence.
+            store.attach_telemetry(o, tracer.clone());
         }
 
         #[cfg(target_os = "linux")]

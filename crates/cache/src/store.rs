@@ -4,15 +4,41 @@
 //! least-recently-used eviction under a memory budget, get/set/delete,
 //! optional TTLs (against a caller-supplied logical clock so simulations
 //! stay deterministic), and hit/miss/eviction counters.
+//!
+//! # Read-path concurrency
+//!
+//! Steady-state GETs take only a **shared** lock. Each shard is an
+//! `RwLock<ShardData>`: a reader looks its key up under the read lock and,
+//! on a hit, records recency by pushing a `(lru_idx, lru_gen)` record into
+//! one of the shard's lock-free [touch rings](crate::touch) instead of
+//! moving the LRU node inline. The rings are drained **in batches under
+//! the write lock** — opportunistically by every writer before its own
+//! mutation, and by the explicit [`Store::flush_touches`] hook the data
+//! planes call between event batches. TTL expiry is driven by a per-shard
+//! [hierarchical timer wheel](crate::wheel) advanced on the same flush
+//! cadence, so expired entries stop occupying LRU slots and memory without
+//! waiting for an unlucky GET.
+//!
+//! The **approximation contract** (see DESIGN.md §"Read-path
+//! concurrency"): a touch may be applied late, but touches from one worker
+//! thread are never reordered against each other, and eviction victims are
+//! always drawn from the true LRU tail *modulo unflushed touches*. Every
+//! writer flushes before mutating, so any single-threaded sequence of
+//! operations is byte-identical to the legacy inline plane
+//! ([`ReadPath::Inline`], kept as the reference baseline).
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use spotcache_obs::{Counter, Gauge, Obs, Tracer};
 
 use crate::lru::LruList;
+use crate::touch::{lane_for_thread, TouchRec, TouchRing};
+use crate::wheel::{TimerWheel, WheelRec};
 
 /// A sink for store mutations, installed with [`Store::set_mutation_sink`].
 ///
@@ -52,6 +78,72 @@ impl Default for StoreConfig {
     }
 }
 
+/// Which concurrency plane steady-state GETs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPath {
+    /// Legacy plane: every GET takes the shard's exclusive lock and moves
+    /// the entry in the LRU inline. Kept as the frozen reference plane the
+    /// equivalence proptests compare against (and as the baseline leg of
+    /// the hot-shard benchmark).
+    Inline,
+    /// Shared-lock plane (default): GETs take the read lock and record
+    /// recency into per-worker touch rings; writers and the explicit
+    /// [`Store::flush_touches`] hook apply them in batches.
+    Deferred,
+}
+
+/// Tuning knobs for the deferred read path.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadPathConfig {
+    /// Which plane GETs use.
+    pub mode: ReadPath,
+    /// Touch-ring lanes per shard. Sized to the worker-thread count so
+    /// each data-plane worker gets a private SPSC lane; extra threads wrap
+    /// around and share (still safe — the rings are MPMC).
+    pub lanes: usize,
+    /// Capacity of each lane in records (rounded up to a power of two).
+    /// Overflow drops the **oldest** record: a hot key briefly looks
+    /// colder, never a correctness issue.
+    pub lane_capacity: usize,
+}
+
+impl Default for ReadPathConfig {
+    fn default() -> Self {
+        Self {
+            mode: ReadPath::Deferred,
+            lanes: 8,
+            lane_capacity: 512,
+        }
+    }
+}
+
+/// What one touch-flush sweep accomplished (summed over the swept shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Touch records drained from the rings.
+    pub drained: u64,
+    /// Records applied to the LRU (post-dedupe, generation-valid).
+    pub applied: u64,
+    /// Records dropped as stale (slot freed or reused since the read).
+    pub stale: u64,
+    /// Entries reaped by the TTL wheel.
+    pub expired: u64,
+}
+
+impl FlushReport {
+    fn add(&mut self, other: &FlushReport) {
+        self.drained += other.drained;
+        self.applied += other.applied;
+        self.stale += other.stale;
+        self.expired += other.expired;
+    }
+
+    /// Whether the sweep did any work at all.
+    pub fn any(&self) -> bool {
+        self.drained != 0 || self.expired != 0
+    }
+}
+
 /// Cumulative statistics, aggregated across shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -65,7 +157,9 @@ pub struct CacheStats {
     pub sets: u64,
     /// Delete operations that removed something.
     pub deletes: u64,
-    /// Gets that found an item past its TTL.
+    /// Items removed past their TTL (reaped by the wheel, purged by a
+    /// write-path presence check, or — on the inline plane — removed by an
+    /// unlucky GET).
     pub expirations: u64,
 }
 
@@ -118,10 +212,10 @@ pub enum SetOutcome {
 /// One-sweep aggregate view of the store: statistics, occupancy, and
 /// capacity gathered with a single pass over the shard locks.
 ///
-/// Observability samplers should prefer one [`Store::snapshot`] call over
-/// separate `stats()` / `used_bytes()` / `len()` calls — each of those is
-/// itself a full sweep, so naive per-field sampling quadruples lock
-/// traffic on the hot shards.
+/// Observability samplers should prefer one [`Store::snapshot_at`] call
+/// over separate `stats()` / `used_bytes()` / `len()` calls — each of
+/// those is itself a full sweep, so naive per-field sampling quadruples
+/// lock traffic on the hot shards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreSnapshot {
     /// Cumulative operation statistics.
@@ -137,53 +231,116 @@ pub struct StoreSnapshot {
 struct Entry {
     value: Bytes,
     lru_idx: usize,
+    /// Generation of the LRU slot at insert time; touch and wheel records
+    /// carry it so a record can never act on a freed-and-reused slot.
+    lru_gen: u32,
     bytes: usize,
     expires_at: Option<u64>,
 }
 
-struct Shard {
-    map: HashMap<Bytes, Entry>,
+/// FNV-1a with a splitmix64-style finalizer: the shard maps' key hasher.
+/// Cache keys are short (tens of bytes), where FNV beats the std maps'
+/// SipHash by ~100 ns per lookup — pure win on the GET hot path, which
+/// pays a map probe on every operation.
+///
+/// The finalizer is load-bearing, not decoration: shard selection already
+/// uses raw FNV (`Store::shard_idx`), so every key inside one shard agrees
+/// on `fnv(key) % shards`. Without a final bit-mix the map's bucket index
+/// would inherit that congruence and cluster probes by the shard count.
+/// This is not a DoS-hardened hash; a cache whose keyspace is attacker-
+/// controlled already concedes collision-flood behaviour at the shard
+/// selector, which no map hasher can repair.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+type KeyMap = HashMap<Bytes, Entry, std::hash::BuildHasherDefault<FnvHasher>>;
+
+/// Everything behind a shard's `RwLock`: the map, the LRU, the TTL wheel,
+/// and the reusable flush scratch (kept here so steady-state flushes
+/// allocate nothing — see `tests/zero_alloc.rs`).
+struct ShardData {
+    map: KeyMap,
     lru: LruList<Bytes>,
     used_bytes: usize,
     capacity_bytes: usize,
-    stats: CacheStats,
+    /// Write-side statistics. `hits`/`misses` are **always zero** here —
+    /// they live in the shard's lock-free atomics so the shared-lock read
+    /// path never writes under the lock.
+    wstats: CacheStats,
+    wheel: TimerWheel,
+    /// Whether TTL'd inserts are filed into the wheel (the deferred plane
+    /// only; the inline plane keeps the legacy lazy-expiry-on-GET).
+    wheel_enabled: bool,
+    drain_buf: Vec<TouchRec>,
+    keep_buf: Vec<TouchRec>,
+    /// Per-LRU-slot epoch stamps for the flush dedupe pass.
+    seen_epoch: Vec<u32>,
+    epoch: u32,
+    due_buf: Vec<(u32, u32)>,
 }
 
-impl Shard {
-    fn new(capacity_bytes: usize) -> Self {
+impl ShardData {
+    fn new(capacity_bytes: usize, wheel_enabled: bool) -> Self {
         Self {
-            map: HashMap::new(),
+            map: KeyMap::default(),
             lru: LruList::new(),
             used_bytes: 0,
             capacity_bytes,
-            stats: CacheStats::default(),
+            wstats: CacheStats::default(),
+            wheel: TimerWheel::new(),
+            wheel_enabled,
+            drain_buf: Vec::new(),
+            keep_buf: Vec::new(),
+            seen_epoch: Vec::new(),
+            epoch: 0,
+            due_buf: Vec::new(),
         }
     }
 
-    fn get(&mut self, key: &[u8], now: u64) -> Option<Bytes> {
-        // Split borrow: look up, then decide.
-        let expired = match self.map.get(key) {
-            Some(e) => e.expires_at.is_some_and(|t| t <= now),
-            None => {
-                self.stats.misses += 1;
-                return None;
-            }
-        };
-        if expired {
-            self.remove(key);
-            self.stats.expirations += 1;
-            self.stats.misses += 1;
-            return None;
-        }
-        let e = self.map.get(key).expect("checked above");
-        let (idx, value) = (e.lru_idx, e.value.clone());
-        self.lru.touch(idx);
-        self.stats.hits += 1;
-        Some(value)
+    fn entry_expired(e: &Entry, now: u64) -> bool {
+        e.expires_at.is_some_and(|t| t <= now)
+    }
+
+    /// Removes a key that is known to be present.
+    fn remove_present(&mut self, key: &[u8]) {
+        let e = self.map.remove(key).expect("caller checked presence");
+        self.lru.remove(e.lru_idx);
+        self.used_bytes -= e.bytes;
     }
 
     /// Applies a policy-checked store under the one lock the caller holds:
     /// presence check and insertion are a single critical section.
+    ///
+    /// An expired-but-unreaped entry does **not** satisfy the presence
+    /// check: it is purged first (counted as an expiration), so `add`
+    /// succeeds and `replace` fails exactly as if the reaper had already
+    /// run. (Before PR 8 presence ignored TTLs; that was the
+    /// `contains()`-counts-expired bug.)
     fn apply(
         &mut self,
         policy: SetPolicy,
@@ -192,6 +349,14 @@ impl Shard {
         now: u64,
         ttl: Option<u64>,
     ) -> SetOutcome {
+        if self
+            .map
+            .get(&key)
+            .is_some_and(|e| Self::entry_expired(e, now))
+        {
+            self.remove_present(&key);
+            self.wstats.expirations += 1;
+        }
         let exists = self.map.contains_key(&key);
         let store_it = match policy {
             SetPolicy::Always => true,
@@ -211,7 +376,7 @@ impl Shard {
     /// Inserts an item; returns `false` when it exceeds the shard budget
     /// (the item is rejected and any previous value is removed).
     fn set(&mut self, key: Bytes, value: Bytes, now: u64, ttl: Option<u64>) -> bool {
-        self.stats.sets += 1;
+        self.wstats.sets += 1;
         let bytes = key.len() + value.len() + ITEM_OVERHEAD;
         if let Some(old) = self.map.remove(&key) {
             self.lru.remove(old.lru_idx);
@@ -227,15 +392,30 @@ impl Shard {
             let victim = self.lru.pop_back().expect("used > 0 implies non-empty LRU");
             let old = self.map.remove(&victim).expect("LRU entry is in the map");
             self.used_bytes -= old.bytes;
-            self.stats.evictions += 1;
+            self.wstats.evictions += 1;
         }
         let idx = self.lru.push_front(key.clone());
+        debug_assert!(
+            idx <= u32::MAX as usize,
+            "ITEM_OVERHEAD bounds the slab below 2^32"
+        );
+        let gen = self.lru.gen_of(idx);
         let expires_at = ttl.map(|d| now + d);
+        if self.wheel_enabled {
+            if let Some(e) = expires_at {
+                self.wheel.insert(WheelRec {
+                    expires_at: e,
+                    idx: idx as u32,
+                    gen,
+                });
+            }
+        }
         self.map.insert(
             key,
             Entry {
                 value,
                 lru_idx: idx,
+                lru_gen: gen,
                 bytes,
                 expires_at,
             },
@@ -243,28 +423,296 @@ impl Shard {
         self.used_bytes += bytes;
         true
     }
+}
 
-    fn remove(&mut self, key: &[u8]) -> bool {
-        if let Some(e) = self.map.remove(key) {
-            self.lru.remove(e.lru_idx);
-            self.used_bytes -= e.bytes;
-            true
+/// One shard: the locked data plus everything readers may touch without
+/// the write lock — the touch-ring lanes and the lock-free counters.
+struct Shard {
+    data: RwLock<ShardData>,
+    /// Per-worker touch lanes (empty on the inline plane).
+    lanes: Vec<TouchRing>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rlock_gets: AtomicU64,
+    wlock_gets: AtomicU64,
+    touch_drops: AtomicU64,
+    flush_batches: AtomicU64,
+    flush_records: AtomicU64,
+    flush_applied: AtomicU64,
+    flush_stale: AtomicU64,
+    wheel_advances: AtomicU64,
+    wheel_expired: AtomicU64,
+    wheel_pending: AtomicU64,
+    /// Lower bound on the wheel's earliest pending deadline
+    /// (`u64::MAX` = empty), mirrored from under the write lock so
+    /// [`Store::flush_touches`] can skip shards with nothing to reap.
+    wheel_next: AtomicU64,
+}
+
+impl Shard {
+    fn new(capacity_bytes: usize, rp: &ReadPathConfig) -> Self {
+        let deferred = rp.mode == ReadPath::Deferred;
+        let lanes = if deferred {
+            (0..rp.lanes.max(1))
+                .map(|_| TouchRing::new(rp.lane_capacity))
+                .collect()
         } else {
-            false
+            Vec::new()
+        };
+        Self {
+            data: RwLock::new(ShardData::new(capacity_bytes, deferred)),
+            lanes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rlock_gets: AtomicU64::new(0),
+            wlock_gets: AtomicU64::new(0),
+            touch_drops: AtomicU64::new(0),
+            flush_batches: AtomicU64::new(0),
+            flush_records: AtomicU64::new(0),
+            flush_applied: AtomicU64::new(0),
+            flush_stale: AtomicU64::new(0),
+            wheel_advances: AtomicU64::new(0),
+            wheel_expired: AtomicU64::new(0),
+            wheel_pending: AtomicU64::new(0),
+            wheel_next: AtomicU64::new(u64::MAX),
         }
     }
 
-    fn clear(&mut self) {
-        self.map.clear();
-        self.lru = LruList::new();
-        self.used_bytes = 0;
+    /// Shared-lock GET: lookup + expiry check + a touch-ring push. Never
+    /// mutates `ShardData`; an expired entry simply serves a miss (the
+    /// wheel reaps it on the flush cadence).
+    fn get_shared(&self, d: &ShardData, key: &[u8], now: u64, lane: usize) -> Option<Bytes> {
+        self.rlock_gets.fetch_add(1, Ordering::Relaxed);
+        match d.map.get(key) {
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(e) if ShardData::entry_expired(e, now) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let dropped = self.lanes[lane].push_drop_oldest(TouchRec {
+                    idx: e.lru_idx as u32,
+                    gen: e.lru_gen,
+                });
+                if dropped {
+                    self.touch_drops.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(e.value.clone())
+            }
+        }
+    }
+
+    /// Exclusive-lock GET (inline plane): the legacy behaviour — touch the
+    /// LRU inline, remove an expired entry on collision.
+    fn get_exclusive(&self, d: &mut ShardData, key: &[u8], now: u64) -> Option<Bytes> {
+        self.wlock_gets.fetch_add(1, Ordering::Relaxed);
+        let expired = match d.map.get(key) {
+            Some(e) => ShardData::entry_expired(e, now),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if expired {
+            d.remove_present(key);
+            d.wstats.expirations += 1;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let e = d.map.get(key).expect("checked above");
+        let (idx, value) = (e.lru_idx, e.value.clone());
+        d.lru.touch(idx);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(value)
+    }
+
+    /// Runs a mutation under the write lock, flushing pending touches and
+    /// advancing the TTL wheel **first** (so the mutation sees exact LRU
+    /// order and reaped-at-`now` occupancy), and republishing the wheel's
+    /// next deadline after.
+    fn write_op<R>(&self, now: u64, f: impl FnOnce(&mut ShardData) -> R) -> R {
+        let mut d = self.data.write();
+        self.flush_locked(&mut d, now);
+        let r = f(&mut d);
+        self.publish_wheel(&d);
+        r
+    }
+
+    fn publish_wheel(&self, d: &ShardData) {
+        self.wheel_next.store(
+            d.wheel.next_deadline().unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.wheel_pending
+            .store(d.wheel.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Drains every touch lane, dedupes, applies the survivors to the LRU,
+    /// then advances the TTL wheel to `now` and reaps what's due. All
+    /// scratch lives in `ShardData`, so the steady state allocates nothing.
+    fn flush_locked(&self, d: &mut ShardData, now: u64) -> FlushReport {
+        let mut rep = FlushReport::default();
+        if !self.lanes.is_empty() {
+            let mut drain = std::mem::take(&mut d.drain_buf);
+            drain.clear();
+            for lane in &self.lanes {
+                while let Some(t) = lane.pop() {
+                    drain.push(t);
+                }
+            }
+            if !drain.is_empty() {
+                rep.drained = drain.len() as u64;
+                // Dedupe: only the *last* touch of each slot decides its
+                // final LRU position, so scan newest-to-oldest keeping the
+                // first occurrence per slot (epoch stamps avoid clearing
+                // the seen-array between flushes), then apply the keepers
+                // oldest-to-newest. The result is byte-identical to
+                // replaying every record in order.
+                if d.seen_epoch.len() < d.lru.slot_capacity() {
+                    let cap = d.lru.slot_capacity();
+                    d.seen_epoch.resize(cap, 0);
+                }
+                d.epoch = d.epoch.wrapping_add(1);
+                if d.epoch == 0 {
+                    d.seen_epoch.fill(0);
+                    d.epoch = 1;
+                }
+                let epoch = d.epoch;
+                let mut keep = std::mem::take(&mut d.keep_buf);
+                keep.clear();
+                for t in drain.iter().rev() {
+                    match d.seen_epoch.get_mut(t.idx as usize) {
+                        Some(s) if *s != epoch => {
+                            *s = epoch;
+                            keep.push(*t);
+                        }
+                        Some(_) => rep.stale += 1, // superseded by a newer touch
+                        None => rep.stale += 1,    // out-of-range: long dead
+                    }
+                }
+                for t in keep.iter().rev() {
+                    if d.lru.touch_if(t.idx as usize, t.gen) {
+                        rep.applied += 1;
+                    } else {
+                        rep.stale += 1;
+                    }
+                }
+                d.keep_buf = keep;
+            }
+            d.drain_buf = drain;
+        }
+        if d.wheel_enabled && d.wheel.next_deadline().is_some_and(|t| t <= now) {
+            let mut due = std::mem::take(&mut d.due_buf);
+            due.clear();
+            d.wheel.advance(now, &mut due);
+            self.wheel_advances.fetch_add(1, Ordering::Relaxed);
+            for &(idx, gen) in due.iter() {
+                // A live generation match means the exact entry this record
+                // was filed for is still in place (any overwrite or delete
+                // bumps the slot generation) — reap it.
+                if d.lru.is_live_gen(idx as usize, gen) {
+                    let key = d.lru.payload(idx as usize).cloned().expect("live slot");
+                    d.remove_present(&key);
+                    d.wstats.expirations += 1;
+                    rep.expired += 1;
+                }
+            }
+            d.due_buf = due;
+        }
+        if rep.any() {
+            self.flush_batches.fetch_add(1, Ordering::Relaxed);
+            self.flush_records.fetch_add(rep.drained, Ordering::Relaxed);
+            self.flush_applied.fetch_add(rep.applied, Ordering::Relaxed);
+            self.flush_stale.fetch_add(rep.stale, Ordering::Relaxed);
+            self.wheel_expired.fetch_add(rep.expired, Ordering::Relaxed);
+        }
+        rep
+    }
+}
+
+/// `store_*` / `ttl_wheel_*` observability wiring. The hot path only ever
+/// touches the per-shard atomics; this struct is the bridge that adds
+/// their **deltas** into the obs registry at flush/snapshot time.
+struct StoreTelemetry {
+    rlock_gets: Counter,
+    wlock_gets: Counter,
+    touch_dropped: Counter,
+    flush_total: Counter,
+    flush_records: Counter,
+    flush_applied: Counter,
+    flush_stale: Counter,
+    wheel_advances: Counter,
+    wheel_expired: Counter,
+    wheel_pending: Gauge,
+    tracer: Option<Arc<Tracer>>,
+    /// Totals already pushed into the counters, so each sync adds only the
+    /// delta. One mutex, taken on the flush cadence — never per-GET.
+    synced: Mutex<[u64; 9]>,
+}
+
+impl StoreTelemetry {
+    fn new(obs: &Obs, tracer: Option<Arc<Tracer>>) -> Self {
+        Self {
+            rlock_gets: obs.counter("store_rlock_gets_total"),
+            wlock_gets: obs.counter("store_wlock_gets_total"),
+            touch_dropped: obs.counter("store_touch_dropped_total"),
+            flush_total: obs.counter("store_touch_flush_total"),
+            flush_records: obs.counter("store_touch_flush_records_total"),
+            flush_applied: obs.counter("store_touch_flush_applied_total"),
+            flush_stale: obs.counter("store_touch_flush_stale_total"),
+            wheel_advances: obs.counter("ttl_wheel_advances_total"),
+            wheel_expired: obs.counter("ttl_wheel_expired_total"),
+            wheel_pending: obs.gauge("ttl_wheel_pending"),
+            tracer,
+            synced: Mutex::new([0; 9]),
+        }
+    }
+
+    fn sync(&self, shards: &[Shard]) {
+        let mut totals = [0u64; 9];
+        let mut pending = 0u64;
+        for sh in shards {
+            totals[0] += sh.rlock_gets.load(Ordering::Relaxed);
+            totals[1] += sh.wlock_gets.load(Ordering::Relaxed);
+            totals[2] += sh.touch_drops.load(Ordering::Relaxed);
+            totals[3] += sh.flush_batches.load(Ordering::Relaxed);
+            totals[4] += sh.flush_records.load(Ordering::Relaxed);
+            totals[5] += sh.flush_applied.load(Ordering::Relaxed);
+            totals[6] += sh.flush_stale.load(Ordering::Relaxed);
+            totals[7] += sh.wheel_advances.load(Ordering::Relaxed);
+            totals[8] += sh.wheel_expired.load(Ordering::Relaxed);
+            pending += sh.wheel_pending.load(Ordering::Relaxed);
+        }
+        let mut last = self.synced.lock();
+        let counters = [
+            &self.rlock_gets,
+            &self.wlock_gets,
+            &self.touch_dropped,
+            &self.flush_total,
+            &self.flush_records,
+            &self.flush_applied,
+            &self.flush_stale,
+            &self.wheel_advances,
+            &self.wheel_expired,
+        ];
+        for (i, c) in counters.iter().enumerate() {
+            c.add(totals[i].saturating_sub(last[i]));
+        }
+        *last = totals;
+        drop(last);
+        self.wheel_pending.set(pending as f64);
     }
 }
 
 /// A sharded LRU store.
 ///
 /// Capacity is split evenly across shards, matching memcached's per-slab
-/// independence: a hot shard can evict while another has room.
+/// independence: a hot shard can evict while another has room. See the
+/// [module docs](crate::store) for the read-path concurrency model.
 ///
 /// # Examples
 ///
@@ -277,11 +725,14 @@ impl Shard {
 /// assert!(store.delete(b"user:1"));
 /// ```
 pub struct Store {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<Shard>,
+    read_path: ReadPathConfig,
     /// Optional mutation tap (replication). Read-locked per write; writes
     /// are rare (installation at topology changes), so the read path is an
     /// uncontended `RwLock` read.
     sink: RwLock<Option<Arc<dyn MutationSink>>>,
+    /// Optional obs wiring; absent until [`Store::attach_telemetry`].
+    telemetry: RwLock<Option<Arc<StoreTelemetry>>>,
 }
 
 thread_local! {
@@ -291,13 +742,50 @@ thread_local! {
 }
 
 impl Store {
-    /// Creates a store from a configuration.
+    /// Creates a store from a configuration, on the default (deferred,
+    /// shared-lock) read path.
     pub fn new(config: StoreConfig) -> Self {
+        Self::with_read_path(config, ReadPathConfig::default())
+    }
+
+    /// Creates a store with an explicit read-path configuration.
+    pub fn with_read_path(config: StoreConfig, read_path: ReadPathConfig) -> Self {
         let n = config.shards.max(1);
         let per_shard = config.capacity_bytes / n;
         Self {
-            shards: (0..n).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            shards: (0..n).map(|_| Shard::new(per_shard, &read_path)).collect(),
+            read_path,
             sink: RwLock::new(None),
+            telemetry: RwLock::new(None),
+        }
+    }
+
+    /// Creates a single-shard store with the given byte budget.
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        Self::new(StoreConfig {
+            capacity_bytes,
+            shards: 1,
+        })
+    }
+
+    /// The active read-path configuration.
+    pub fn read_path(&self) -> ReadPathConfig {
+        self.read_path
+    }
+
+    /// Registers the `store_*` / `ttl_wheel_*` metrics with `obs` and
+    /// (optionally) a tracer for `store/flush_touches` spans. The hot path
+    /// stays on plain per-shard atomics; their values are folded into the
+    /// registry on the flush/snapshot cadence.
+    pub fn attach_telemetry(&self, obs: &Obs, tracer: Option<Arc<Tracer>>) {
+        let t = Arc::new(StoreTelemetry::new(obs, tracer));
+        t.sync(&self.shards);
+        *self.telemetry.write() = Some(t);
+    }
+
+    fn sync_telemetry(&self) {
+        if let Some(t) = self.telemetry.read().as_ref() {
+            t.sync(&self.shards);
         }
     }
 
@@ -327,14 +815,6 @@ impl Store {
         self.sink.read().is_some()
     }
 
-    /// Creates a single-shard store with the given byte budget.
-    pub fn with_capacity(capacity_bytes: usize) -> Self {
-        Self::new(StoreConfig {
-            capacity_bytes,
-            shards: 1,
-        })
-    }
-
     fn shard_idx(&self, key: &[u8]) -> usize {
         // FNV-1a; cheap and adequate for shard selection.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -345,13 +825,27 @@ impl Store {
         (h % self.shards.len() as u64) as usize
     }
 
-    fn shard_for(&self, key: &[u8]) -> &Mutex<Shard> {
+    fn shard_for(&self, key: &[u8]) -> &Shard {
         &self.shards[self.shard_idx(key)]
     }
 
-    /// Fetches a key at logical time `now` (TTL-aware).
+    #[inline]
+    fn deferred(&self) -> bool {
+        self.read_path.mode == ReadPath::Deferred
+    }
+
+    /// Fetches a key at logical time `now` (TTL-aware). On the deferred
+    /// plane this takes only the shard's **read** lock.
     pub fn get_at(&self, key: &[u8], now: u64) -> Option<Bytes> {
-        self.shard_for(key).lock().get(key, now)
+        let sh = self.shard_for(key);
+        if self.deferred() {
+            let lane = lane_for_thread(sh.lanes.len());
+            let d = sh.data.read();
+            sh.get_shared(&d, key, now, lane)
+        } else {
+            let mut d = sh.data.write();
+            sh.get_exclusive(&mut d, key, now)
+        }
     }
 
     /// Fetches a key, ignoring TTLs (logical time 0).
@@ -366,17 +860,32 @@ impl Store {
     /// zero-copy until a response writer serializes them.
     ///
     /// Within a shard, keys are processed in input order, so hit/miss
-    /// accounting, TTL expirations, and LRU touch order are identical to
-    /// issuing the gets one at a time.
+    /// accounting, TTL behaviour, and recency order are identical to
+    /// issuing the gets one at a time. On the deferred plane the per-shard
+    /// lock taken is the **read** lock.
     pub fn get_many_into<'k, K>(&self, keys: K, now: u64, out: &mut Vec<Option<Bytes>>)
     where
         K: Iterator<Item = &'k [u8]> + Clone,
     {
         out.clear();
+        let deferred = self.deferred();
+        let lane = if deferred {
+            lane_for_thread(self.read_path.lanes.max(1))
+        } else {
+            0
+        };
         if self.shards.len() == 1 {
-            let mut sh = self.shards[0].lock();
-            for k in keys {
-                out.push(sh.get(k, now));
+            let sh = &self.shards[0];
+            if deferred {
+                let d = sh.data.read();
+                for k in keys {
+                    out.push(sh.get_shared(&d, k, now, lane));
+                }
+            } else {
+                let mut d = sh.data.write();
+                for k in keys {
+                    out.push(sh.get_exclusive(&mut d, k, now));
+                }
             }
             return;
         }
@@ -392,10 +901,20 @@ impl Store {
             if !ids.contains(&s) {
                 continue;
             }
-            let mut sh = self.shards[s as usize].lock();
-            for ((i, k), &id) in keys.clone().enumerate().zip(ids.iter()) {
-                if id == s {
-                    out[i] = sh.get(k, now);
+            let sh = &self.shards[s as usize];
+            if deferred {
+                let d = sh.data.read();
+                for ((i, k), &id) in keys.clone().enumerate().zip(ids.iter()) {
+                    if id == s {
+                        out[i] = sh.get_shared(&d, k, now, lane);
+                    }
+                }
+            } else {
+                let mut d = sh.data.write();
+                for ((i, k), &id) in keys.clone().enumerate().zip(ids.iter()) {
+                    if id == s {
+                        out[i] = sh.get_exclusive(&mut d, k, now);
+                    }
                 }
             }
         }
@@ -407,6 +926,37 @@ impl Store {
         let mut out = Vec::with_capacity(keys.len());
         self.get_many_into(keys.iter().copied(), now, &mut out);
         out
+    }
+
+    /// Drains every shard's touch rings and advances every TTL wheel to
+    /// `now`, under each shard's write lock in turn. The data planes call
+    /// this between event batches; shards with empty rings and no due
+    /// wheel deadline are skipped without taking the lock.
+    pub fn flush_touches(&self, now: u64) -> FlushReport {
+        let mut total = FlushReport::default();
+        if !self.deferred() {
+            return total;
+        }
+        let telemetry = self.telemetry.read().clone();
+        let _span = telemetry
+            .as_ref()
+            .and_then(|t| t.tracer.as_ref())
+            .map(|t| t.span("store", "flush_touches"));
+        for sh in &self.shards {
+            let rings_idle = sh.lanes.iter().all(|l| l.is_empty());
+            let wheel_due = sh.wheel_next.load(Ordering::Relaxed) <= now;
+            if rings_idle && !wheel_due {
+                continue;
+            }
+            let mut d = sh.data.write();
+            let rep = sh.flush_locked(&mut d, now);
+            sh.publish_wheel(&d);
+            total.add(&rep);
+        }
+        if let Some(t) = &telemetry {
+            t.sync(&self.shards);
+        }
+        total
     }
 
     /// Batched insert: stores every `(key, value, ttl)` item, grouping by
@@ -421,15 +971,18 @@ impl Store {
         let mut tapped: Vec<(Bytes, Bytes, Option<u64>)> = Vec::new();
         let mut stored = 0usize;
         if self.shards.len() == 1 {
-            let mut sh = self.shards[0].lock();
-            for (k, v, ttl) in items {
-                let ok = sh.set(k.clone(), v.clone(), now, ttl);
-                if ok && tapping {
-                    tapped.push((k, v, ttl));
+            let sh = &self.shards[0];
+            stored = sh.write_op(now, |d| {
+                let mut stored = 0usize;
+                for (k, v, ttl) in items {
+                    let ok = d.set(k.clone(), v.clone(), now, ttl);
+                    if ok && tapping {
+                        tapped.push((k, v, ttl));
+                    }
+                    stored += ok as usize;
                 }
-                stored += ok as usize;
-            }
-            drop(sh);
+                stored
+            });
             for (k, v, ttl) in &tapped {
                 self.tap_set(k, v, *ttl);
             }
@@ -445,17 +998,21 @@ impl Store {
             if !ids.contains(&s) {
                 continue;
             }
-            let mut sh = self.shards[s as usize].lock();
-            for (slot, &id) in slots.iter_mut().zip(ids.iter()) {
-                if id == s {
-                    let (k, v, ttl) = slot.take().expect("each slot is taken exactly once");
-                    let ok = sh.set(k.clone(), v.clone(), now, ttl);
-                    if ok && tapping {
-                        tapped.push((k, v, ttl));
+            let sh = &self.shards[s as usize];
+            stored += sh.write_op(now, |d| {
+                let mut stored = 0usize;
+                for (slot, &id) in slots.iter_mut().zip(ids.iter()) {
+                    if id == s {
+                        let (k, v, ttl) = slot.take().expect("each slot is taken exactly once");
+                        let ok = d.set(k.clone(), v.clone(), now, ttl);
+                        if ok && tapping {
+                            tapped.push((k, v, ttl));
+                        }
+                        stored += ok as usize;
                     }
-                    stored += ok as usize;
                 }
-            }
+                stored
+            });
         }
         for (k, v, ttl) in &tapped {
             self.tap_set(k, v, *ttl);
@@ -471,16 +1028,15 @@ impl Store {
         now: u64,
         ttl: Option<u64>,
     ) {
-        self.shard_for_owned(key.into(), value.into(), now, ttl);
+        self.set_owned(key.into(), value.into(), now, ttl);
     }
 
-    fn shard_for_owned(&self, key: Bytes, value: Bytes, now: u64, ttl: Option<u64>) {
+    fn set_owned(&self, key: Bytes, value: Bytes, now: u64, ttl: Option<u64>) {
         // `Bytes` clones are refcount bumps; the tap fires after the shard
         // lock is released.
         let stored = self
             .shard_for(&key)
-            .lock()
-            .set(key.clone(), value.clone(), now, ttl);
+            .write_op(now, |d| d.set(key.clone(), value.clone(), now, ttl));
         if stored {
             self.tap_set(&key, &value, ttl);
         }
@@ -496,9 +1052,9 @@ impl Store {
     /// acquisition, unlike a `contains` + `set_at` + `contains` sequence
     /// which takes the lock three times per command.
     ///
-    /// Presence ignores TTLs, matching the protocol layer's historical
-    /// `contains`-based semantics (an expired-but-unreaped item still
-    /// blocks `add` and satisfies `replace`).
+    /// Presence is TTL-aware: an expired-but-unreaped entry is purged
+    /// (counted as an expiration) before the check, so `add` treats it as
+    /// absent and `replace` as missing — on **both** read planes.
     pub fn set_policy_at(
         &self,
         key: impl Into<Bytes>,
@@ -509,29 +1065,44 @@ impl Store {
     ) -> SetOutcome {
         let key = key.into();
         let value = value.into();
-        let out = self
-            .shard_for(&key)
-            .lock()
-            .apply(policy, key.clone(), value.clone(), now, ttl);
+        let out = self.shard_for(&key).write_op(now, |d| {
+            d.apply(policy, key.clone(), value.clone(), now, ttl)
+        });
         if out == SetOutcome::Stored {
             self.tap_set(&key, &value, ttl);
         }
         out
     }
 
-    /// Deletes a key; returns whether it existed. Removal and the
-    /// `deletes` statistic are updated under one lock acquisition.
-    pub fn delete(&self, key: &[u8]) -> bool {
-        let mut sh = self.shard_for(key).lock();
-        let removed = sh.remove(key);
-        if removed {
-            sh.stats.deletes += 1;
-        }
-        drop(sh);
+    /// Deletes a key at logical time `now`; returns whether a **live**
+    /// item was removed. An expired-but-unreaped entry is purged but
+    /// reported as absent (counted as an expiration, not a delete),
+    /// matching memcached's `DELETE` of an expired item.
+    pub fn delete_at(&self, key: &[u8], now: u64) -> bool {
+        let sh = self.shard_for(key);
+        let removed = sh.write_op(now, |d| {
+            let expired = match d.map.get(key) {
+                None => return false,
+                Some(e) => ShardData::entry_expired(e, now),
+            };
+            d.remove_present(key);
+            if expired {
+                d.wstats.expirations += 1;
+                false
+            } else {
+                d.wstats.deletes += 1;
+                true
+            }
+        });
         if removed {
             self.tap_delete(key);
         }
         removed
+    }
+
+    /// Deletes a key, ignoring TTLs (logical time 0).
+    pub fn delete(&self, key: &[u8]) -> bool {
+        self.delete_at(key, 0)
     }
 
     /// Snapshot of live, unexpired items in approximate hottest-first
@@ -542,8 +1113,9 @@ impl Store {
     /// hottest-first-copy order the recovery model assumes for the warm-up
     /// pump, to within shard granularity. Values are the raw stored bytes
     /// (flag prefix included when written through the protocol); the third
-    /// element is the TTL remaining at `now`, if any. Each shard lock is
-    /// held only while that shard is walked.
+    /// element is the TTL remaining at `now`, if any. Pending touches are
+    /// flushed first so the walk reflects exact recency; each shard lock
+    /// is then held only while that shard is walked.
     ///
     /// Per-shard collection is capped by what the round-robin merge can
     /// actually take (computed from a cheap length pre-pass), so a call
@@ -557,8 +1129,13 @@ impl Store {
         if max_items == 0 {
             return Vec::new();
         }
+        self.flush_touches(now);
         // Length pre-pass: an upper bound on each shard's live items.
-        let lens: Vec<usize> = self.shards.iter().map(|s| s.lock().map.len()).collect();
+        let lens: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.data.read().map.len())
+            .collect();
         let quotas = round_robin_quotas(&lens, max_items);
         let mut per_shard: Vec<std::vec::IntoIter<(Bytes, Bytes, Option<u64>)>> =
             Vec::with_capacity(self.shards.len());
@@ -568,14 +1145,14 @@ impl Store {
                 per_shard.push(Vec::new().into_iter());
                 continue;
             }
-            let sh = s.lock();
+            let sh = s.data.read();
             let mut items = Vec::with_capacity(quota.min(sh.map.len()));
             for key in sh.lru.iter() {
                 if items.len() >= quota {
                     break;
                 }
                 let Some(e) = sh.map.get(key) else { continue };
-                if e.expires_at.is_some_and(|t| t <= now) {
+                if ShardData::entry_expired(e, now) {
                     continue;
                 }
                 let ttl = e.expires_at.map(|t| t - now);
@@ -610,8 +1187,16 @@ impl Store {
         self.shards.len()
     }
 
+    /// Stable shard index for `key`. Exposed so benchmarks and tests can
+    /// construct deliberately skewed key sets (e.g. the single-hot-shard
+    /// read-path A/B in `cache_loadgen`).
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        self.shard_idx(key)
+    }
+
     /// Snapshot of one shard's live, unexpired items in LRU recency order
-    /// (most-recently-used first), holding only that shard's lock.
+    /// (most-recently-used first), flushing that shard's pending touches
+    /// first and holding only that shard's lock.
     ///
     /// This is the checkpoint writer's walk (`spotcache-recovery`): full
     /// shard state, one framed shard at a time, so peak memory during a
@@ -623,52 +1208,103 @@ impl Store {
     ///
     /// Panics if `shard >= self.shard_count()`.
     pub fn shard_snapshot_at(&self, shard: usize, now: u64) -> Vec<(Bytes, Bytes, Option<u64>)> {
-        let sh = self.shards[shard].lock();
-        let mut items = Vec::with_capacity(sh.map.len());
-        for key in sh.lru.iter() {
-            let Some(e) = sh.map.get(key) else { continue };
-            if e.expires_at.is_some_and(|t| t <= now) {
-                continue;
+        let sh = &self.shards[shard];
+        sh.write_op(now, |d| {
+            let mut items = Vec::with_capacity(d.map.len());
+            for key in d.lru.iter() {
+                let Some(e) = d.map.get(key) else { continue };
+                if ShardData::entry_expired(e, now) {
+                    continue;
+                }
+                let ttl = e.expires_at.map(|t| t - now);
+                items.push((key.clone(), e.value.clone(), ttl));
             }
-            let ttl = e.expires_at.map(|t| t - now);
-            items.push((key.clone(), e.value.clone(), ttl));
-        }
-        items
+            items
+        })
     }
 
-    /// Whether a key is present (does not touch LRU order or stats).
+    /// Whether a key holds a live (unexpired at `now`) item. Takes only
+    /// the shard's read lock; never mutates, touches LRU order, or counts
+    /// stats.
+    pub fn contains_at(&self, key: &[u8], now: u64) -> bool {
+        let sh = self.shard_for(key);
+        let d = sh.data.read();
+        d.map
+            .get(key)
+            .is_some_and(|e| !ShardData::entry_expired(e, now))
+    }
+
+    /// Whether a key is present, ignoring TTLs entirely (an
+    /// expired-but-unreaped item still counts). Prefer
+    /// [`contains_at`](Self::contains_at) when a logical time is known.
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.shard_for(key).lock().map.contains_key(key)
+        self.shard_for(key).data.read().map.contains_key(key)
     }
 
     /// Gathers statistics, occupancy, and capacity in **one** sweep over
-    /// the shard locks. Prefer this over separate [`stats`](Self::stats) /
+    /// the shard locks, flushing pending touches and reaping expired
+    /// entries first so `items`/`used_bytes` count only live data. Items
+    /// that expired at or before `now` but are invisible to the reaper
+    /// (inline plane, or `now` earlier than a previous flush) are filtered
+    /// from the counts during the sweep.
+    ///
+    /// Prefer this over separate [`stats`](Self::stats) /
     /// [`used_bytes`](Self::used_bytes) / [`len`](Self::len) calls when
     /// more than one field is needed (e.g. obs sampling, the protocol's
     /// `stats` command).
-    pub fn snapshot(&self) -> StoreSnapshot {
+    pub fn snapshot_at(&self, now: u64) -> StoreSnapshot {
+        self.flush_touches(now);
         let mut snap = StoreSnapshot::default();
         for s in &self.shards {
-            let sh = s.lock();
-            snap.stats.add(&sh.stats);
-            snap.used_bytes += sh.used_bytes;
+            let sh = s.data.read();
+            snap.stats.add(&sh.wstats);
             snap.capacity_bytes += sh.capacity_bytes;
-            snap.items += sh.map.len();
+            for (k, e) in &sh.map {
+                if ShardData::entry_expired(e, now) {
+                    continue;
+                }
+                debug_assert_eq!(e.bytes, k.len() + e.value.len() + ITEM_OVERHEAD);
+                snap.used_bytes += e.bytes;
+                snap.items += 1;
+            }
+            snap.stats.hits += s.hits.load(Ordering::Relaxed);
+            snap.stats.misses += s.misses.load(Ordering::Relaxed);
         }
+        self.sync_telemetry();
         snap
     }
 
-    /// Total bytes accounted (keys + values + per-item overhead).
+    /// [`snapshot_at`](Self::snapshot_at) at logical time 0 — i.e. the raw
+    /// occupancy view, where only never-valid (TTL 0 at time 0) items are
+    /// filtered.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        self.snapshot_at(0)
+    }
+
+    /// Bytes accounted to items live at `now` (keys + values + overhead).
+    pub fn used_bytes_at(&self, now: u64) -> usize {
+        self.snapshot_at(now).used_bytes
+    }
+
+    /// Total bytes accounted to items, ignoring TTLs (logical time 0).
     pub fn used_bytes(&self) -> usize {
         self.snapshot().used_bytes
     }
 
     /// Total capacity across shards.
     pub fn capacity_bytes(&self) -> usize {
-        self.snapshot().capacity_bytes
+        self.shards
+            .iter()
+            .map(|s| s.data.read().capacity_bytes)
+            .sum()
     }
 
-    /// Number of live items.
+    /// Number of items live at `now`.
+    pub fn len_at(&self, now: u64) -> usize {
+        self.snapshot_at(now).items
+    }
+
+    /// Number of items, ignoring TTLs (logical time 0).
     pub fn len(&self) -> usize {
         self.snapshot().items
     }
@@ -683,10 +1319,21 @@ impl Store {
         self.snapshot().stats
     }
 
-    /// Drops every item (a revoked node's RAM vanishing).
+    /// Drops every item (a revoked node's RAM vanishing). Pending touch
+    /// records and wheel entries are discarded; slot generations advance,
+    /// so records still in flight on other threads can never act on
+    /// post-clear items.
     pub fn clear(&self) {
-        for s in &self.shards {
-            s.lock().clear();
+        for sh in &self.shards {
+            let mut d = sh.data.write();
+            for lane in &sh.lanes {
+                while lane.pop().is_some() {}
+            }
+            d.map.clear();
+            d.lru.clear();
+            d.used_bytes = 0;
+            d.wheel = TimerWheel::new();
+            sh.publish_wheel(&d);
         }
     }
 }
@@ -726,6 +1373,7 @@ impl std::fmt::Debug for Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Store")
             .field("shards", &self.shards.len())
+            .field("read_path", &self.read_path.mode)
             .field("len", &self.len())
             .field("used_bytes", &self.used_bytes())
             .finish()
@@ -739,6 +1387,19 @@ mod tests {
 
     fn small() -> Store {
         Store::with_capacity(10 * 1024)
+    }
+
+    fn small_inline() -> Store {
+        Store::with_read_path(
+            StoreConfig {
+                capacity_bytes: 10 * 1024,
+                shards: 1,
+            },
+            ReadPathConfig {
+                mode: ReadPath::Inline,
+                ..ReadPathConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -786,15 +1447,53 @@ mod tests {
 
     #[test]
     fn get_refreshes_recency() {
+        // Deferred plane: the GET only queues a touch, but every writer
+        // flushes before mutating, so a single-threaded sequence behaves
+        // exactly like the inline plane.
+        for s in [small(), small_inline()] {
+            for i in 0..9u8 {
+                s.set(vec![i], vec![0u8; 1000]);
+            }
+            // Touch key 0 so it becomes MRU, then insert to force eviction.
+            assert!(s.get(&[0]).is_some());
+            s.set(vec![100], vec![0u8; 1000]);
+            assert!(s.contains(&[0]), "recently-touched key must survive");
+            assert!(!s.contains(&[1]), "LRU key must be evicted");
+        }
+    }
+
+    #[test]
+    fn explicit_flush_applies_touches() {
         let s = small();
         for i in 0..9u8 {
             s.set(vec![i], vec![0u8; 1000]);
         }
-        // Touch key 0 so it becomes MRU, then insert to force eviction.
         assert!(s.get(&[0]).is_some());
+        assert!(s.get(&[2]).is_some());
+        assert!(s.get(&[0]).is_some()); // 0 touched again: [0, 2, 8, ...]
+        let rep = s.flush_touches(0);
+        assert_eq!(rep.drained, 3);
+        assert_eq!(rep.applied, 2, "duplicate touch of key 0 deduped");
+        assert_eq!(rep.stale, 1);
+        // Evict twice: victims must be the true tail (1 then 3), with the
+        // touched keys 0 and 2 refreshed.
         s.set(vec![100], vec![0u8; 1000]);
-        assert!(s.contains(&[0]), "recently-touched key must survive");
-        assert!(!s.contains(&[1]), "LRU key must be evicted");
+        s.set(vec![101], vec![0u8; 1000]);
+        assert!(s.contains(&[0]) && s.contains(&[2]));
+        assert!(!s.contains(&[1]) && !s.contains(&[3]));
+    }
+
+    #[test]
+    fn stale_touches_are_dropped() {
+        let s = small();
+        s.set("a", "1");
+        assert!(s.get(b"a").is_some()); // queued touch for a's slot
+        assert!(s.delete(b"a")); // flushes (applies it), slot freed
+        s.set("b", "2"); // reuses the slot with a bumped generation
+        assert!(s.get(b"a").is_none());
+        let rep = s.flush_touches(0);
+        assert_eq!(rep.applied, 0);
+        assert_eq!(rep.drained, 0, "delete's opportunistic flush drained it");
     }
 
     #[test]
@@ -811,22 +1510,119 @@ mod tests {
         s.set_at("k", "v", 100, Some(50));
         assert!(s.get_at(b"k", 120).is_some());
         assert!(s.get_at(b"k", 150).is_none()); // expired exactly at 150
-        assert!(!s.contains(b"k"), "expired item is removed");
+        assert!(!s.contains_at(b"k", 150));
+        // The shared-lock GET never mutates; the wheel reaps on the flush.
+        assert!(s.contains(b"k"), "entry lingers until a flush");
+        let rep = s.flush_touches(150);
+        assert_eq!(rep.expired, 1);
+        assert!(!s.contains(b"k"), "wheel reaped the expired item");
         let st = s.stats();
         assert_eq!(st.expirations, 1);
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+    }
+
+    #[test]
+    fn inline_plane_expires_on_get() {
+        let s = small_inline();
+        s.set_at("k", "v", 100, Some(50));
+        assert!(s.get_at(b"k", 150).is_none());
+        assert!(!s.contains(b"k"), "inline GET removes the expired item");
+        assert_eq!(s.stats().expirations, 1);
+    }
+
+    #[test]
+    fn wheel_reaps_without_a_get() {
+        // The whole point of the wheel: memory comes back without an
+        // unlucky GET colliding with the expired entry.
+        let s = small();
+        s.set_at("short", "v", 0, Some(10));
+        s.set_at("long", "v", 0, Some(1_000_000));
+        s.set_at("forever", "v", 0, None);
+        assert_eq!(s.len(), 3);
+        let rep = s.flush_touches(10);
+        assert_eq!(rep.expired, 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stats().expirations, 1);
+        assert!(!s.contains(b"short"));
+        assert!(s.contains(b"long") && s.contains(b"forever"));
+        // No due deadline: the flush fast-path skips the shard entirely.
+        let rep = s.flush_touches(11);
+        assert!(!rep.any());
+    }
+
+    #[test]
+    fn wheel_records_for_overwritten_entries_go_stale() {
+        let s = small();
+        s.set_at("k", "v1", 0, Some(10));
+        s.set_at("k", "v2", 0, None); // overwrite drops the TTL
+        let rep = s.flush_touches(100);
+        assert_eq!(rep.expired, 0, "stale wheel record must not reap v2");
+        assert_eq!(s.get_at(b"k", 100).as_deref(), Some(b"v2".as_ref()));
+    }
+
+    #[test]
+    fn expired_entry_unblocks_add_and_fails_replace() {
+        // Satellite bugfix: presence is TTL-aware on both planes.
+        for s in [small(), small_inline()] {
+            s.set_at("k", "old", 0, Some(10));
+            assert_eq!(
+                s.set_policy_at("k", "new", 20, None, SetPolicy::IfPresent),
+                SetOutcome::NotStored,
+                "replace must fail on an expired entry"
+            );
+            assert_eq!(
+                s.set_policy_at("k", "new", 20, None, SetPolicy::IfAbsent),
+                SetOutcome::Stored,
+                "add must succeed over an expired entry"
+            );
+            assert_eq!(s.get_at(b"k", 20).as_deref(), Some(b"new".as_ref()));
+            assert_eq!(s.stats().expirations, 1);
+        }
+    }
+
+    #[test]
+    fn delete_of_expired_reports_not_found() {
+        for s in [small(), small_inline()] {
+            s.set_at("k", "v", 0, Some(10));
+            assert!(!s.delete_at(b"k", 20), "expired item deletes as absent");
+            assert!(!s.contains(b"k"), "but it is purged");
+            let st = s.stats();
+            assert_eq!(st.deletes, 0);
+            assert_eq!(st.expirations, 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_at_counts_only_live_items() {
+        for s in [small(), small_inline()] {
+            s.set_at("t", vec![0u8; 100], 0, Some(10));
+            s.set_at("p", vec![0u8; 100], 0, None);
+            let before = s.snapshot_at(5);
+            assert_eq!(before.items, 2);
+            let after = s.snapshot_at(10);
+            assert_eq!(after.items, 1, "expired item leaves the counts");
+            assert_eq!(after.used_bytes, 1 + 100 + ITEM_OVERHEAD);
+            assert_eq!(s.len_at(10), 1);
+            assert_eq!(s.used_bytes_at(10), after.used_bytes);
+        }
     }
 
     #[test]
     fn clear_empties_everything() {
         let s = small();
         for i in 0..5u8 {
-            s.set(vec![i], "v");
+            s.set_at(vec![i], "v", 0, Some(100));
         }
+        s.get(&[0]); // leave a touch record in flight
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.used_bytes(), 0);
-        // Store remains usable.
+        // Store remains usable; stale touch/wheel records are inert.
         s.set("x", "y");
+        assert!(s.contains(b"x"));
+        let rep = s.flush_touches(1_000);
+        assert_eq!(rep.expired, 0);
         assert!(s.contains(b"x"));
     }
 
@@ -843,7 +1639,7 @@ mod tests {
         let occupied = s
             .shards
             .iter()
-            .filter(|sh| !sh.lock().map.is_empty())
+            .filter(|sh| !sh.data.read().map.is_empty())
             .count();
         assert!(
             occupied >= 6,
@@ -980,6 +1776,32 @@ mod tests {
         assert_eq!(snap.stats.deletes, 1);
     }
 
+    #[test]
+    fn telemetry_syncs_on_flush_cadence() {
+        let obs = Obs::new();
+        let s = small();
+        s.attach_telemetry(&obs, None);
+        s.set_at("k", "v", 0, Some(5));
+        for _ in 0..3 {
+            s.get_at(b"k", 1);
+        }
+        s.get_at(b"missing", 1);
+        s.flush_touches(10);
+        assert_eq!(obs.counter("store_rlock_gets_total").get(), 4);
+        assert_eq!(obs.counter("store_wlock_gets_total").get(), 0);
+        assert_eq!(obs.counter("store_touch_flush_total").get(), 1);
+        assert_eq!(obs.counter("store_touch_flush_records_total").get(), 3);
+        assert_eq!(obs.counter("store_touch_flush_applied_total").get(), 1);
+        assert_eq!(obs.counter("store_touch_flush_stale_total").get(), 2);
+        assert_eq!(obs.counter("ttl_wheel_expired_total").get(), 1);
+        assert!(obs.counter("ttl_wheel_advances_total").get() >= 1);
+        assert_eq!(obs.gauge("ttl_wheel_pending").get(), 0.0);
+        // Deltas, not absolutes: a second sync must not double-count.
+        s.flush_touches(11);
+        s.snapshot_at(11);
+        assert_eq!(obs.counter("store_rlock_gets_total").get(), 4);
+    }
+
     proptest! {
         /// Accounting invariants hold under arbitrary operation sequences:
         /// used_bytes matches the sum over live items and never exceeds
@@ -1000,11 +1822,14 @@ mod tests {
             // Recompute used from scratch via per-item sizes.
             let mut expect = 0usize;
             for sh in &s.shards {
-                let sh = sh.lock();
+                let sh = sh.data.read();
+                let mut acc = 0usize;
                 for (k, e) in &sh.map {
                     expect += k.len() + e.value.len() + ITEM_OVERHEAD;
+                    acc += e.bytes;
                     prop_assert_eq!(e.bytes, k.len() + e.value.len() + ITEM_OVERHEAD);
                 }
+                prop_assert_eq!(acc, sh.used_bytes);
                 prop_assert_eq!(sh.lru.len(), sh.map.len());
             }
             prop_assert_eq!(s.used_bytes(), expect);

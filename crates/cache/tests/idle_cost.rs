@@ -13,7 +13,8 @@
 
 #![cfg(target_os = "linux")]
 
-use std::net::TcpStream;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -96,4 +97,50 @@ fn a_thousand_idle_connections_cost_near_zero_cpu() {
         "stop() took {took:?} with {CONNS} idle connections open"
     );
     drop(conns);
+}
+
+/// A half-closed connection with a full write backlog must *park*, not
+/// spin: the client pipelines a large response backlog, half-closes its
+/// write side (so the server sees `EPOLLRDHUP`), and then reads nothing.
+/// The server writes until the socket buffer fills and must then sleep in
+/// `epoll_wait` — a reactor that leaves read/RDHUP interest armed on the
+/// drained, half-closed socket would wake continuously instead.
+/// (Distilled from a PR 7 scratch test; the slow-*reader* variant also
+/// measured legitimate write work and was too machine-dependent.)
+#[test]
+fn half_closed_backpressured_reader_parks() {
+    let store = Arc::new(Store::new(StoreConfig {
+        capacity_bytes: 64 << 20,
+        shards: 8,
+    }));
+    let clock = LogicalClock::new();
+    let mut server = CacheServer::start(Arc::clone(&store), clock, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // Store a large value, then pipeline many gets and half-close.
+    let mut c = CacheClient::connect(addr).unwrap();
+    let val = vec![b'v'; 16 * 1024];
+    c.set("big", &val, 0).unwrap();
+    drop(c);
+
+    let s = TcpStream::connect(addr).unwrap();
+    let mut w = &s;
+    let req = "get big\r\n".repeat(4000); // ~64 MiB of responses
+    w.write_all(req.as_bytes()).unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+
+    // Let the server fill the socket buffer and hit backpressure, then
+    // measure a 2 s window in which the client reads *nothing*: every
+    // worker should be parked the whole time.
+    std::thread::sleep(Duration::from_millis(500));
+    let t0 = cpu_ticks();
+    std::thread::sleep(Duration::from_secs(2));
+    let spent = cpu_ticks() - t0;
+    assert!(
+        spent <= 25,
+        "hot spin on half-closed backpressured socket: {spent} ticks (~{} ms CPU)",
+        spent * 10
+    );
+    server.stop();
+    drop(s);
 }

@@ -1,9 +1,19 @@
 //! Offline stand-in for the `bytes` crate (API subset).
 //!
-//! [`Bytes`] here is an immutable byte buffer backed by `Arc<[u8]>`:
-//! cheap clones, usable as a `HashMap` key, `Deref`s to `[u8]`. The real
-//! crate's zero-copy slicing/vtable machinery is not reproduced — no call
-//! site in the workspace needs it.
+//! [`Bytes`] here is an immutable byte buffer with a small-buffer
+//! optimization: payloads up to [`INLINE_CAP`] bytes live inline in the
+//! struct (clone = a 24-byte memcpy, no allocation, no refcount), larger
+//! ones are backed by `Arc<[u8]>`. Cheap clones, usable as a `HashMap`
+//! key, `Deref`s to `[u8]`. The real crate's zero-copy slicing/vtable
+//! machinery is not reproduced — no call site in the workspace needs it.
+//!
+//! The inline representation is a measured hot-path win, not a
+//! micro-nicety: an `Arc` clone/drop pair is two *locked* RMWs on the
+//! allocation's refcount word — on x86 each is a full memory barrier, and
+//! the word sits on a cold cache line when values are scattered across a
+//! big cache. A GET that clones the stored value out of the map paid that
+//! serialization on every hit; short keys paid a dependent heap hop on
+//! every map-probe equality check. Both vanish for small payloads.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -11,72 +21,113 @@ use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// Largest payload stored inline. Chosen so the enum stays 24 bytes
+/// (16-byte `Arc<[u8]>` fat pointer + tag, rounded to alignment): typical
+/// cache keys and small values fit, big values keep shared-refcount
+/// clones.
+pub const INLINE_CAP: usize = 22;
+
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    Shared(Arc<[u8]>),
+}
+
 /// A cheaply clonable, immutable chunk of bytes.
-#[derive(Clone, Default)]
-pub struct Bytes(Arc<[u8]>);
+#[derive(Clone)]
+pub struct Bytes(Repr);
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Self(Arc::from(&[][..]))
+        Self(Repr::Inline {
+            len: 0,
+            buf: [0; INLINE_CAP],
+        })
     }
 
     /// Copies `data` into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self(Arc::from(data))
+        if data.len() <= INLINE_CAP {
+            let mut buf = [0; INLINE_CAP];
+            buf[..data.len()].copy_from_slice(data);
+            Self(Repr::Inline {
+                len: data.len() as u8,
+                buf,
+            })
+        } else {
+            Self(Repr::Shared(Arc::from(data)))
+        }
     }
 
     /// Wraps a static byte slice (copied here, unlike the real crate —
     /// semantics are identical, only the allocation differs).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Self(Arc::from(data))
+        Self::copy_from_slice(data)
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Shared(a) => a,
+        }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.as_slice().len()
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.0.to_vec()
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
+    #[inline]
     fn borrow(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Must agree with <[u8] as Hash> for Borrow-based HashMap lookups.
-        <[u8] as Hash>::hash(&self.0, state)
+        <[u8] as Hash>::hash(self.as_slice(), state)
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.0[..] == other.0[..]
+        self.as_slice() == other.as_slice()
     }
 }
 impl Eq for Bytes {}
@@ -88,40 +139,40 @@ impl PartialOrd for Bytes {
 }
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0[..].cmp(&other.0[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.0[..] == *other
+        self.as_slice() == other
     }
 }
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.0[..] == **other
+        self.as_slice() == *other
     }
 }
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.0[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 impl PartialEq<str> for Bytes {
     fn eq(&self, other: &str) -> bool {
-        self.0[..] == *other.as_bytes()
+        self.as_slice() == other.as_bytes()
     }
 }
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self[..] == other.0[..]
+        &self[..] == other.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.0.iter() {
+        for &b in self.as_slice() {
             for c in std::ascii::escape_default(b) {
                 write!(f, "{}", c as char)?;
             }
@@ -132,7 +183,11 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self(Arc::from(v.into_boxed_slice()))
+        if v.len() <= INLINE_CAP {
+            Self::copy_from_slice(&v)
+        } else {
+            Self(Repr::Shared(Arc::from(v.into_boxed_slice())))
+        }
     }
 }
 
