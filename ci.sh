@@ -67,11 +67,23 @@ missing = {"protocol", "server", "control", "recovery"} - cats
 assert not missing, f"trace is missing layers: {missing}"
 PY
 # The loadgen path with sampling on: trace must validate and cover the
-# data plane while the run still passes its throughput floors.
+# data plane while the run still passes its throughput floors. The
+# scrape leg polls the live admin endpoint mid-run and must land its
+# snapshots in the artifact.
 cargo run --release -q -p spotcache-bench --bin cache_loadgen -- --smoke --out "$lg" \
-    --trace-out "$lgtr" | grep -q "loadgen OK"
+    --trace-out "$lgtr" --scrape-interval 0.1 | grep -q "loadgen OK"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$lgtr" 2>/dev/null \
     || { echo "loadgen trace is not valid JSON"; exit 1; }
+python3 - "$lg" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+scrapes = doc.get("scrapes")
+assert scrapes, "--scrape-interval run must embed live /metrics snapshots"
+assert all("t_s" in s and "cache_get_total" in s for s in scrapes), scrapes
+PY
+
+echo "==> telemetry endpoint smoke test (live /metrics /healthz /trace /journal)"
+cargo run --release -q -p spotcache-bench --bin telemetry_smoke | grep -q "telemetry OK"
 
 echo "==> checkpoint smoke test (cut -> corrupt-reject -> pristine restore)"
 cargo run --release -q -p spotcache-bench --bin ckpt_smoke \
@@ -79,14 +91,31 @@ cargo run --release -q -p spotcache-bench --bin ckpt_smoke \
 
 echo "==> revocation drill smoke test (all strategies + link faults)"
 dr="$(mktemp /tmp/revocation_drill.XXXXXX.json)"
-trap 'rm -f "$snap" "$lg" "$tr" "$lgtr" "$dr"' EXIT
+drtr="$(mktemp /tmp/drill_trace.XXXXXX.json)"
+trap 'rm -f "$snap" "$lg" "$tr" "$lgtr" "$dr" "$drtr"' EXIT
 # The bin asserts the recovery orderings (per-strategy warned <= warning
 # window, replay unwarned > warned, checkpoint beating replay) and the
 # link-fault healing itself; re-check the artifact's schema and the
 # headline invariants here so the gate does not rely on the bin's
 # asserts alone.
 cargo run --release -q -p spotcache-bench --bin revocation_drill -- --smoke --out "$dr" \
-    | grep -q "revocation drill OK"
+    --trace-out "$drtr" | grep -q "revocation drill OK"
+# Cross-process stitching: the warned hybrid drill propagates one trace
+# context across router -> primary -> replicator -> backup/replacement,
+# so the dumped Chrome trace must hold one trace id spanning >=3 of the
+# drill's logical processes.
+python3 - "$drtr" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+stitch = "d811000000000001"
+pids = {e["pid"] for e in events
+        if e.get("ph") == "X" and e.get("args", {}).get("trace") == stitch}
+assert len(pids) >= 3, \
+    f"stitched drill trace {stitch} must span >=3 logical processes, got {sorted(pids)}"
+names = {e["args"]["name"] for e in events
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+assert {"primary-server", "backup-server", "replicator"} <= names, names
+PY
 python3 - "$dr" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -115,12 +144,13 @@ PY
 
 echo "==> cluster loadgen smoke test (reactor data plane, multi-node ring)"
 cl="$(mktemp /tmp/cluster_loadgen.XXXXXX.json)"
-trap 'rm -f "$snap" "$lg" "$tr" "$lgtr" "$dr" "$cl"' EXIT
+trap 'rm -f "$snap" "$lg" "$tr" "$lgtr" "$dr" "$drtr" "$cl"' EXIT
 # The bin asserts its own smoke throughput floor; re-check the artifact's
 # schema and the cluster-shape invariants here so the gate does not rely
-# on the bin's asserts alone.
+# on the bin's asserts alone. The scrape leg polls node 0's live admin
+# endpoint mid-run.
 cargo run --release -q -p spotcache-bench --bin cluster_loadgen -- --smoke --out "$cl" \
-    | grep -q "cluster loadgen OK"
+    --scrape-interval 0.1 | grep -q "cluster loadgen OK"
 python3 - "$cl" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -131,6 +161,7 @@ assert doc["pipelined"]["ops_per_sec"] > 0, "aggregate throughput missing"
 assert len(doc["per_node"]) == doc["nodes"], "per-node stats incomplete"
 for n in doc["per_node"]:
     assert n["connections"] > 0, f"node {n['node']}: no connections served"
+assert doc.get("scrapes"), "--scrape-interval run must embed live /metrics snapshots"
 PY
 
 echo "==> cargo fmt --check"

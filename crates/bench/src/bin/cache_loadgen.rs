@@ -25,17 +25,21 @@
 //! Flags: `--smoke` (small fixed-seed run with an ops/s floor for CI),
 //! `--out PATH` (default `BENCH_cache.json`), `--seed N`, `--conns N`,
 //! `--trace-out PATH` (attach a sampling tracer to the server and write
-//! a Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`).
+//! a Chrome trace-event JSON loadable in Perfetto / `chrome://tracing`),
+//! `--scrape-interval SECS` (observe the server, attach its live admin
+//! endpoint, and poll `/metrics` on that cadence mid-run; the snapshots
+//! land in the BENCH JSON under `"scrapes"`).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use spotcache_bench::heading;
+use spotcache_bench::scrape::{scrapes_json, Scraper};
 use spotcache_cache::protocol::serve;
 use spotcache_cache::server::{CacheServer, LogicalClock, ServerConfig};
 use spotcache_cache::store::{ReadPath, ReadPathConfig, Store, StoreConfig};
@@ -55,6 +59,7 @@ struct Config {
     read_path: ReadPath,
     out: String,
     trace_out: Option<String>,
+    scrape_interval: Option<f64>,
     seed: u64,
     conns: usize,
     key_space: u64,
@@ -69,6 +74,7 @@ impl Config {
         let mut smoke = false;
         let mut out = "BENCH_cache.json".to_string();
         let mut trace_out = None;
+        let mut scrape_interval = None;
         let mut seed = 42u64;
         let mut conns: Option<usize> = None;
         let mut read_path = ReadPath::Deferred;
@@ -78,6 +84,14 @@ impl Config {
                 "--smoke" => smoke = true,
                 "--out" => out = args.next().expect("--out needs a path"),
                 "--trace-out" => trace_out = Some(args.next().expect("--trace-out needs a path")),
+                "--scrape-interval" => {
+                    scrape_interval = Some(
+                        args.next()
+                            .expect("--scrape-interval needs seconds")
+                            .parse()
+                            .unwrap(),
+                    )
+                }
                 "--seed" => seed = args.next().expect("--seed needs a value").parse().unwrap(),
                 "--conns" => {
                     conns = Some(args.next().expect("--conns needs a value").parse().unwrap())
@@ -100,6 +114,7 @@ impl Config {
                 read_path,
                 out,
                 trace_out,
+                scrape_interval,
                 seed,
                 conns: conns.unwrap_or(2),
                 key_space: 2_000,
@@ -114,6 +129,7 @@ impl Config {
                 read_path,
                 out,
                 trace_out,
+                scrape_interval,
                 seed,
                 conns: conns.unwrap_or(4),
                 key_space: 10_000,
@@ -435,17 +451,37 @@ fn main() {
         .trace_out
         .as_ref()
         .map(|_| Tracer::all(DEFAULT_TRACE_CAPACITY));
+    // `--scrape-interval` turns on server-side observation so there is a
+    // live endpoint to scrape. Off by default: the headline numbers
+    // measure the bare data plane (stage attribution costs one relaxed
+    // atomic load when disabled, and it stays disabled without obs).
+    let server_obs = cfg.scrape_interval.map(|_| Arc::new(Obs::new()));
     let clock = LogicalClock::new();
     let mut server = CacheServer::start_full(
         Arc::clone(&store),
         clock,
         "127.0.0.1:0",
         ServerConfig::default(),
-        None,
+        server_obs.clone(),
         tracer.clone(),
     )
     .expect("start server");
     let addr = server.addr();
+    let scraper = cfg.scrape_interval.map(|secs| {
+        let admin = server
+            .start_admin("127.0.0.1:0")
+            .expect("start admin endpoint");
+        println!("admin endpoint on {admin}, scraping /metrics every {secs}s");
+        Scraper::start(
+            admin,
+            Duration::from_secs_f64(secs),
+            &[
+                "cache_get_total",
+                "cache_store_total",
+                "cache_get_hits_total",
+            ],
+        )
+    });
 
     let obs = Obs::new();
     obs.gauge("loadgen_conns").set(cfg.conns as f64);
@@ -484,6 +520,12 @@ fn main() {
         ));
     }
     obs.gauge("loadgen_pipelined_ops_per_sec").set(pipelined);
+    let scrapes = scraper.map(|s| {
+        let scrapes = s.stop();
+        println!("scraped /metrics {} times mid-run", scrapes.len());
+        assert!(!scrapes.is_empty(), "scraper must capture >=1 snapshot");
+        scrapes
+    });
     server.stop();
 
     let speedup = pipelined / baseline;
@@ -499,7 +541,11 @@ fn main() {
         snap.items, snap.used_bytes, snap.stats.hits, snap.stats.misses
     );
 
-    let json = obs.json_snapshot();
+    let mut json = obs.json_snapshot();
+    if let Some(scrapes) = &scrapes {
+        // Embed the mid-run endpoint snapshots ahead of the obs fields.
+        json = format!("{{\"scrapes\":{},{}", scrapes_json(scrapes), &json[1..]);
+    }
     validate_json(&json).unwrap_or_else(|at| panic!("snapshot JSON invalid at byte {at}"));
     std::fs::write(&cfg.out, &json).expect("write snapshot");
     println!("wrote {}", cfg.out);

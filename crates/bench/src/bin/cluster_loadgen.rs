@@ -20,18 +20,22 @@
 //!
 //! Flags: `--smoke` (small fixed-seed run with an ops/s floor for CI),
 //! `--out PATH` (default `BENCH_cluster.json`), `--seed N`, `--conns N`
-//! (driver threads, each holding one connection per node), `--nodes N`.
+//! (driver threads, each holding one connection per node), `--nodes N`,
+//! and `--scrape-interval SECS` (attach a live `/metrics` endpoint to
+//! node 0 and poll it on that cadence while the load runs; snapshots
+//! land under `"scrapes"` in the JSON artifact).
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use spotcache_bench::heading;
+use spotcache_bench::scrape::{scrapes_json, Scraper};
 use spotcache_cache::protocol::serve;
 use spotcache_cache::server::{CacheServer, LogicalClock, ServerConfig};
 use spotcache_cache::store::{Store, StoreConfig};
@@ -62,6 +66,7 @@ struct Config {
     pipelined_batches: usize,
     pipeline_depth: usize,
     multiget_cap: usize,
+    scrape_interval: Option<f64>,
 }
 
 impl Config {
@@ -74,6 +79,7 @@ impl Config {
         let mut depth: Option<usize> = None;
         let mut batches: Option<usize> = None;
         let mut multiget = MULTIGET_CAP;
+        let mut scrape_interval: Option<f64> = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -105,6 +111,14 @@ impl Config {
                         .unwrap()
                         .max(1)
                 }
+                "--scrape-interval" => {
+                    scrape_interval = Some(
+                        args.next()
+                            .expect("--scrape-interval needs seconds")
+                            .parse()
+                            .unwrap(),
+                    )
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -120,6 +134,7 @@ impl Config {
                 pipelined_batches: batches.unwrap_or(15),
                 pipeline_depth: depth.unwrap_or(64),
                 multiget_cap: multiget,
+                scrape_interval,
             }
         } else {
             Self {
@@ -133,6 +148,7 @@ impl Config {
                 pipelined_batches: batches.unwrap_or(400),
                 pipeline_depth: depth.unwrap_or(384),
                 multiget_cap: multiget,
+                scrape_interval,
             }
         }
     }
@@ -517,6 +533,26 @@ fn main() {
         cfg.key_space
     );
 
+    // Live-telemetry leg: expose node 0's registry over an admin
+    // endpoint and poll it while the phases run, proving the scrape
+    // path answers under cluster load (snapshots land in the JSON).
+    let scraper = cfg.scrape_interval.map(|secs| {
+        let admin = nodes[0]
+            .server
+            .start_admin("127.0.0.1:0")
+            .expect("start admin endpoint on node 0");
+        println!("admin endpoint on node0 at {admin}, scraping /metrics every {secs}s");
+        Scraper::start(
+            admin,
+            Duration::from_secs_f64(secs),
+            &[
+                "cache_get_total",
+                "cache_store_total",
+                "server_connections_total",
+            ],
+        )
+    });
+
     let obs = Obs::new();
     let baseline = run_phase(
         "baseline",
@@ -549,6 +585,15 @@ fn main() {
         .iter()
         .max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec))
         .expect("at least one pipelined run");
+    let scrapes = scraper.map(|s| {
+        let scrapes = s.stop();
+        println!("scraped node0 /metrics {} times mid-run", scrapes.len());
+        assert!(
+            !scrapes.is_empty(),
+            "scraper must record at least one snapshot"
+        );
+        scrapes
+    });
     for node in &mut nodes {
         node.server.stop();
     }
@@ -590,7 +635,7 @@ fn main() {
     // Which store read plane the nodes ran — benchmark metadata so a
     // figure can always be tied to the concurrency plane that produced it.
     let read_path = format!("{:?}", nodes[0].store.read_path().mode).to_lowercase();
-    let json = format!(
+    let mut json = format!(
         "{{\"schema\":\"spotcache-cluster-v1\",\"smoke\":{},\"seed\":{},\
          \"nodes\":{},\"conns\":{},\"pipeline_depth\":{},\"key_space\":{},\
          \"get_ratio\":{GET_RATIO},\"value_len\":{VALUE_LEN},\
@@ -616,6 +661,9 @@ fn main() {
             .join(","),
         per_node_json.join(","),
     );
+    if let Some(scrapes) = &scrapes {
+        json = format!("{{\"scrapes\":{},{}", scrapes_json(scrapes), &json[1..]);
+    }
     validate_json(&json).unwrap_or_else(|at| panic!("cluster JSON invalid at byte {at}"));
     std::fs::write(&cfg.out, &json).expect("write snapshot");
     println!("wrote {}", cfg.out);

@@ -39,6 +39,7 @@
 //! unwarned Replay; the full-set checkpoint restore beats the full-set
 //! pump; every injected link fault is observed and healed.
 
+use std::collections::BTreeSet;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,10 +51,13 @@ use spotcache_bench::faults::{FaultMode, FaultProxy};
 use spotcache_bench::heading;
 use spotcache_cache::protocol::serve;
 use spotcache_cache::replication::{Mutation, ReplicationConfig, ReplicationQueue, Replicator};
-use spotcache_cache::server::{CacheClient, CacheServer, LogicalClock};
+use spotcache_cache::server::{CacheClient, CacheServer, LogicalClock, ServerConfig};
 use spotcache_cache::store::{Store, StoreConfig};
-use spotcache_obs::export::validate_json;
-use spotcache_obs::{Obs, Tracer, DEFAULT_TRACE_CAPACITY};
+use spotcache_obs::export::{validate_json, validate_prometheus_text};
+use spotcache_obs::http::http_get;
+use spotcache_obs::{
+    trace, Obs, SloWindow, TraceConfig, TraceContext, Tracer, DEFAULT_TRACE_CAPACITY,
+};
 use spotcache_recovery::checkpoint::{restore_checkpoint, write_checkpoint, CheckpointConfig};
 use spotcache_recovery::replay::{pump_hot_set, WarmupConfig};
 use spotcache_recovery::strategy::{RecoveryStrategy, RestoreContext, RestoreReport, TopUpConfig};
@@ -70,6 +74,27 @@ const THETA: f64 = 0.99;
 const VALUE_LEN: usize = 64;
 /// Fresh-hit recovery target, as a fraction of the steady-state rate.
 const RECOVERY_FRACTION: f64 = 0.9;
+
+// Logical process lanes for the Chrome trace export: every component
+// thread is pinned to one of these via `trace::set_thread_pid`, so a
+// stitched drill renders router, servers, and replicator side by side.
+const PID_DRIVER: u32 = 0;
+const PID_PRIMARY: u32 = 1;
+const PID_BACKUP: u32 = 2;
+const PID_REPLACEMENT: u32 = 3;
+const PID_REPLICATOR: u32 = 4;
+
+/// Trace id of the designated stitched drill (the warned Hybrid run):
+/// the driver installs this as the root [`TraceContext`], and every
+/// propagation hop — client trace lines, replication batch frames, the
+/// restore thread — carries it into the other components.
+const STITCH_TRACE_ID: u64 = 0xd811_0000_0000_0001;
+
+/// Organic (un-propagated) span trees sample at 1-in-this. Effectively
+/// only trees reached by the stitched run's context record, so the span
+/// buffer holds the one interesting trace instead of drowning in
+/// steady-state serve spans.
+const ORGANIC_SAMPLE_EVERY: u64 = 1 << 30;
 
 struct Config {
     smoke: bool,
@@ -165,13 +190,23 @@ impl Config {
 struct Targets {
     addrs: [SocketAddr; 3],
     conns: [Option<CacheClient>; 3],
+    /// Trace context announced on every fresh connection (stitched runs
+    /// only): the server stitches the first request batch into this
+    /// trace, so client-side serve spans join the drill's trace tree.
+    ctx: Option<TraceContext>,
 }
 
 impl Targets {
-    fn new(primary: SocketAddr, backup: SocketAddr, replacement: SocketAddr) -> Self {
+    fn new(
+        primary: SocketAddr,
+        backup: SocketAddr,
+        replacement: SocketAddr,
+        ctx: Option<TraceContext>,
+    ) -> Self {
         Self {
             addrs: [primary, backup, replacement],
             conns: [None, None, None],
+            ctx,
         }
     }
 
@@ -187,6 +222,11 @@ impl Targets {
         let i = Self::slot(t);
         if self.conns[i].is_none() {
             self.conns[i] = CacheClient::connect(self.addrs[i]).ok();
+            if let (Some(c), Some(ctx)) = (self.conns[i].as_mut(), self.ctx) {
+                if c.send_trace(ctx).is_err() {
+                    self.conns[i] = None;
+                }
+            }
         }
         self.conns[i].as_mut()
     }
@@ -240,6 +280,7 @@ impl WindowSample {
 fn drive_window(
     cfg: &Config,
     router: &DegradedRouter,
+    slo: &SloWindow,
     targets: &mut Targets,
     zipf: &ScrambledZipfian,
     rng: &mut StdRng,
@@ -257,12 +298,14 @@ fn drive_window(
         let plan = router.read_plan();
         if targets.get(plan.first, &key).is_some() {
             router.note_served(Some(plan.first));
+            slo.record(true);
             tally(plan.first);
             continue;
         }
         if let Some(fb) = plan.fallback {
             if targets.get(fb, &key).is_some() {
                 router.note_served(Some(fb));
+                slo.record(true);
                 tally(fb);
                 continue;
             }
@@ -270,6 +313,7 @@ fn drive_window(
         // Miss everywhere: fetch from the (simulated) backend and refill
         // the cache tier at the router's write target.
         router.note_served(None);
+        slo.record(false);
         targets.set(router.write_target(), &key, value.as_bytes());
     }
     if let Some(rest) = deadline.checked_duration_since(Instant::now()) {
@@ -309,11 +353,18 @@ fn run_drill(
     cfg: &Config,
     strategy: &RecoveryStrategy,
     warned: bool,
+    stitch: bool,
     obs: &Arc<Obs>,
     tracer: &Arc<Tracer>,
 ) -> DrillResult {
     let label = if warned { "with-warning" } else { "no-warning" };
     heading(&format!("revocation drill: {} / {label}", strategy.name()));
+
+    let root_ctx = stitch.then_some(TraceContext {
+        trace_id: STITCH_TRACE_ID,
+        parent_span: 0,
+        sampled: true,
+    });
 
     let store_cfg = StoreConfig {
         capacity_bytes: 64 << 20,
@@ -323,20 +374,38 @@ fn run_drill(
     let backup = Arc::new(Store::new(store_cfg));
     let replacement = Arc::new(Store::new(store_cfg));
 
-    let mut primary_srv =
-        CacheServer::start(Arc::clone(&primary), LogicalClock::new(), "127.0.0.1:0")
-            .expect("primary server");
-    let backup_srv = CacheServer::start(Arc::clone(&backup), LogicalClock::new(), "127.0.0.1:0")
-        .expect("backup server");
-    let replacement_srv =
-        CacheServer::start(Arc::clone(&replacement), LogicalClock::new(), "127.0.0.1:0")
-            .expect("replacement server");
+    // Each server's threads inherit the logical pid set at spawn time,
+    // giving every component its own Chrome-trace process lane.
+    let start_server = |pid: u32, store: &Arc<Store>| {
+        trace::set_thread_pid(pid);
+        let srv = CacheServer::start_full(
+            Arc::clone(store),
+            LogicalClock::new(),
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Some(Arc::clone(obs)),
+            Some(Arc::clone(tracer)),
+        );
+        trace::set_thread_pid(PID_DRIVER);
+        srv
+    };
+    let mut primary_srv = start_server(PID_PRIMARY, &primary).expect("primary server");
+    let mut backup_srv = start_server(PID_BACKUP, &backup).expect("backup server");
+    let replacement_srv = start_server(PID_REPLACEMENT, &replacement).expect("replacement server");
+
+    // The stitched run installs its root context only now — after the
+    // servers spawned, so their workers do NOT inherit it (they stitch
+    // per-connection via `trace` lines instead), but before the
+    // replicator spawns, so the shipper thread does: every batch it
+    // ships then carries the context to the backup in-band.
+    trace::set_thread_context(root_ctx);
 
     // Replication primary → proxy → backup (the proxy stays in Forward
     // mode here; the link-fault matrix is exercised separately).
     let mut proxy = FaultProxy::start(backup_srv.addr()).expect("fault proxy");
     let queue = ReplicationQueue::new(65_536, Some(HOT_PREFIX.to_vec()));
     primary.set_mutation_sink(Some(queue.clone()));
+    trace::set_thread_pid(PID_REPLICATOR);
     let mut repl = Replicator::start(
         proxy.addr(),
         Arc::clone(&queue),
@@ -344,6 +413,7 @@ fn run_drill(
         Some(Arc::clone(obs)),
         Some(Arc::clone(tracer)),
     );
+    trace::set_thread_pid(PID_DRIVER);
 
     // Prefill the hot set through the protocol so every value carries the
     // wire framing and every set replicates to the backup.
@@ -364,12 +434,45 @@ fn run_drill(
         backup.snapshot().items
     );
 
-    let router = DegradedRouter::new();
+    let router = Arc::new(DegradedRouter::new());
     router.set_mode(strategy.mode());
+    // Availability SLO over the most recent reads: 99% of reads must be
+    // served by *some* tier. `/healthz` reports its burn rate live.
+    let slo = Arc::new(SloWindow::new(0.99, 4_096));
+
+    // Live telemetry endpoint, attached to the backup (the one server
+    // that survives the whole drill): `/metrics`, `/trace`, `/journal`
+    // from the shared obs/tracer, plus a `/healthz` assembled from the
+    // router's phase machine and the SLO window.
+    let hz_router = Arc::clone(&router);
+    let hz_slo = Arc::clone(&slo);
+    let admin_addr = backup_srv
+        .start_admin_with(
+            "127.0.0.1:0",
+            Some(Box::new(move || {
+                format!(
+                    "{{\"status\":\"{}\",\"phase\":\"{}\",\"mode\":\"{}\",\
+                     \"slo_target\":{},\"slo_bad_frac\":{:.6},\"slo_burn\":{:.3}}}",
+                    if hz_slo.burn_rate() <= 1.0 {
+                        "ok"
+                    } else {
+                        "burning"
+                    },
+                    hz_router.phase().as_str(),
+                    hz_router.mode().as_str(),
+                    hz_slo.target(),
+                    hz_slo.bad_frac(),
+                    hz_slo.burn_rate(),
+                )
+            })),
+        )
+        .expect("drill admin endpoint");
+
     let mut targets = Targets::new(
         primary_srv.addr(),
         backup_srv.addr(),
         replacement_srv.addr(),
+        root_ctx,
     );
     let zipf = ScrambledZipfian::new(cfg.hot_keys, THETA);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ warned as u64);
@@ -380,6 +483,7 @@ fn run_drill(
         samples.push(drive_window(
             cfg,
             &router,
+            &slo,
             &mut targets,
             &zipf,
             &mut rng,
@@ -401,7 +505,14 @@ fn run_drill(
         let target_addr = replacement_srv.addr();
         let obs = Arc::clone(obs);
         let tracer = Arc::clone(tracer);
+        // The restore thread keeps the driver's lane and trace context,
+        // so pump/checkpoint spans (and the trace tokens their shipped
+        // batches carry) stay inside the stitched drill trace.
+        let spawn_pid = trace::thread_pid();
+        let spawn_ctx = trace::thread_context();
         std::thread::spawn(move || {
+            trace::set_thread_pid(spawn_pid);
+            trace::set_thread_context(spawn_ctx);
             let ctx = RestoreContext {
                 backup: &backup,
                 target_addr,
@@ -469,6 +580,7 @@ fn run_drill(
             samples.push(drive_window(
                 cfg,
                 &router,
+                &slo,
                 &mut targets,
                 &zipf,
                 &mut rng,
@@ -483,6 +595,20 @@ fn run_drill(
     router.on_revoked();
     repl.stop(); // the source is gone; the stream dies with it
     let kill_window = samples.len();
+
+    // Mid-outage live scrape: `/healthz` must reflect the phase machine
+    // the instant the primary dies, not at the next artifact dump.
+    let (code, health) =
+        http_get(admin_addr, "/healthz", Duration::from_secs(2)).expect("healthz scrape");
+    assert_eq!(code, 200, "healthz must answer during the outage");
+    assert!(
+        health.contains("\"phase\":\"degraded\""),
+        "healthz must report the kill: {health}"
+    );
+    assert!(
+        health.contains(&format!("\"mode\":\"{}\"", router.mode().as_str())),
+        "healthz must report the armed recovery mode: {health}"
+    );
     if restore_handle.is_none() {
         let tail = match strategy {
             RecoveryStrategy::Hybrid { .. } => {
@@ -507,6 +633,7 @@ fn run_drill(
         samples.push(drive_window(
             cfg,
             &router,
+            &slo,
             &mut targets,
             &zipf,
             &mut rng,
@@ -556,6 +683,19 @@ fn run_drill(
         "served: {} primary, {} stale-from-backup, {} replacement, {} missed",
         counts.primary, counts.backup_stale, counts.replacement, counts.missed
     );
+
+    // End-of-run live scrape: the Prometheus exposition must parse
+    // cleanly and carry the replication counters this run just drove.
+    let (code, metrics) =
+        http_get(admin_addr, "/metrics", Duration::from_secs(2)).expect("metrics scrape");
+    assert_eq!(code, 200, "metrics scrape must succeed");
+    validate_prometheus_text(&metrics)
+        .unwrap_or_else(|at| panic!("scraped /metrics invalid at line {at}:\n{metrics}"));
+    assert!(
+        metrics.contains("repl_shipped_total"),
+        "scraped metrics must include replication counters"
+    );
+    trace::set_thread_context(None);
 
     DrillResult {
         strategy: strategy.name(),
@@ -821,16 +961,52 @@ fn main() {
     let cfg = Config::from_args();
     heading("Revocation drill (all recovery strategies)");
     let obs = Arc::new(Obs::new());
-    let tracer = Tracer::all(DEFAULT_TRACE_CAPACITY);
+    // Edge-sampled: organic span trees effectively never record; only
+    // the stitched run's propagated context (sampled at the driver, the
+    // edge) forces recording downstream, plus the always-recorded
+    // logical drill markers. The buffer then holds one coherent trace.
+    let tracer = Tracer::new(TraceConfig {
+        capacity: DEFAULT_TRACE_CAPACITY,
+        sample_every: ORGANIC_SAMPLE_EVERY,
+    });
+    tracer.register_process(PID_DRIVER, "drill-router");
+    tracer.register_process(PID_PRIMARY, "primary-server");
+    tracer.register_process(PID_BACKUP, "backup-server");
+    tracer.register_process(PID_REPLACEMENT, "replacement-server");
+    tracer.register_process(PID_REPLICATOR, "replicator");
+    trace::set_thread_pid(PID_DRIVER);
+    tracer.register_current_thread("drill-driver");
 
     // 3 strategies × {with, without} the 2-minute warning, every run
-    // driving the DegradedRouter through its full phase machine.
+    // driving the DegradedRouter through its full phase machine. The
+    // warned Hybrid run is the designated stitched trace: it alone
+    // exercises every propagation hop (client trace lines, replication
+    // frames, checkpoint cut, and the top-up tail to the replacement).
     let mut results: Vec<(DrillResult, DrillResult)> = Vec::new();
-    for strategy in cfg.strategies() {
-        let warned = run_drill(&cfg, &strategy, true, &obs, &tracer);
-        let unwarned = run_drill(&cfg, &strategy, false, &obs, &tracer);
+    for strategy in &cfg.strategies() {
+        let stitch = matches!(strategy, RecoveryStrategy::Hybrid { .. });
+        let warned = run_drill(&cfg, strategy, true, stitch, &obs, &tracer);
+        let unwarned = run_drill(&cfg, strategy, false, false, &obs, &tracer);
         results.push((warned, unwarned));
     }
+
+    // The stitched run must have produced one trace tree spanning the
+    // distributed components — router/driver, servers, replicator — all
+    // sharing the root trace id the driver installed.
+    let stitched_pids: BTreeSet<u32> = tracer
+        .spans()
+        .iter()
+        .filter(|s| s.trace_id == STITCH_TRACE_ID)
+        .map(|s| s.pid)
+        .collect();
+    println!(
+        "stitched trace {STITCH_TRACE_ID:#018x}: spans from {} logical processes {stitched_pids:?}",
+        stitched_pids.len()
+    );
+    assert!(
+        stitched_pids.len() >= 3,
+        "stitched drill trace must span >=3 logical processes, got {stitched_pids:?}"
+    );
     let race = run_full_set_race(&cfg, &obs, &tracer);
     let faults = run_link_faults(&obs, &tracer);
     let model_s = model_recovery_secs(&cfg);

@@ -45,7 +45,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use spotcache_obs::{Counter, EventKind, Histogram, Obs, SpanGuard, Tracer};
+use spotcache_obs::{Counter, EventKind, Histogram, Obs, SpanGuard, TraceContext, Tracer};
 
 use crate::store::{SetOutcome, SetPolicy, Store};
 
@@ -116,6 +116,14 @@ pub enum Command {
     Version,
     /// `stats`.
     Stats,
+    /// `trace <token>` — cross-process trace propagation. Carries an
+    /// encoded [`TraceContext`] that spans opened while serving the rest
+    /// of the batch adopt. Produces **no response bytes**, so response
+    /// and ack counting (replication shippers, loadgens) are unaffected.
+    Trace {
+        /// The encoded context token (see [`TraceContext::decode`]).
+        token: Bytes,
+    },
 }
 
 /// Storage command semantics.
@@ -180,6 +188,11 @@ pub enum Request<'a> {
     Version,
     /// `stats`.
     Stats,
+    /// `trace <token>` — cross-process trace propagation (no response).
+    Trace {
+        /// The encoded context token, borrowed from the input.
+        token: &'a [u8],
+    },
 }
 
 impl Request<'_> {
@@ -222,6 +235,9 @@ impl Request<'_> {
             Request::FlushAll => Command::FlushAll,
             Request::Version => Command::Version,
             Request::Stats => Command::Stats,
+            Request::Trace { token } => Command::Trace {
+                token: Bytes::copy_from_slice(token),
+            },
         }
     }
 }
@@ -358,6 +374,12 @@ pub fn parse_request(input: &[u8]) -> Result<(Request<'_>, usize), ParseError> {
         b"flush_all" => Ok((Request::FlushAll, consumed)),
         b"version" => Ok((Request::Version, consumed)),
         b"stats" => Ok((Request::Stats, consumed)),
+        b"trace" => {
+            let token = parts
+                .next()
+                .ok_or(ParseError::BadLine("missing trace token"))?;
+            Ok((Request::Trace { token }, consumed))
+        }
         _ => Err(ParseError::UnknownCommand),
     }
 }
@@ -548,6 +570,12 @@ fn exec_mutation(
                 hit: false,
             }
         }
+        // Context lines are consumed by the serving loop before execution;
+        // reaching here (owned-command path) they are a silent no-op.
+        Request::Trace { .. } => OpReport {
+            op: "other",
+            hit: true,
+        },
         Request::Store {
             verb,
             key,
@@ -785,6 +813,8 @@ pub fn execute_into(store: &Store, cmd: &Command, now: u64, out: &mut Vec<u8>) {
         Command::Stats => {
             exec_mutation(store, &Request::Stats, now, None, out);
         }
+        // Trace context lines produce no response.
+        Command::Trace { .. } => {}
     }
 }
 
@@ -806,10 +836,23 @@ pub struct ProtocolObs {
     misses: Counter,
     parse_errors: Counter,
     latency_us: Histogram,
+    /// Per-request stage attribution: where inside the data plane a
+    /// request's latency went. The protocol layer records parse / shard
+    /// lock / execute / serialize; the server layer records the epoll
+    /// readiness gap and the read/write syscall stages (hence
+    /// `pub(crate)`).
+    stage_parse_us: Histogram,
+    stage_lock_us: Histogram,
+    stage_execute_us: Histogram,
+    stage_serialize_us: Histogram,
+    pub(crate) stage_ready_us: Histogram,
+    pub(crate) stage_read_us: Histogram,
+    pub(crate) stage_write_us: Histogram,
 }
 
 impl ProtocolObs {
-    /// Registers the `cache_*` series in `obs` and returns the handles.
+    /// Registers the `cache_*` and `stage_*` series in `obs` and returns
+    /// the handles.
     pub fn new(obs: Arc<Obs>) -> Self {
         Self {
             get: obs.counter("cache_get_total"),
@@ -821,6 +864,13 @@ impl ProtocolObs {
             misses: obs.counter("cache_get_misses_total"),
             parse_errors: obs.counter("cache_parse_errors_total"),
             latency_us: obs.histogram("cache_op_latency_us"),
+            stage_parse_us: obs.histogram("stage_parse_us"),
+            stage_lock_us: obs.histogram("stage_lock_us"),
+            stage_execute_us: obs.histogram("stage_execute_us"),
+            stage_serialize_us: obs.histogram("stage_serialize_us"),
+            stage_ready_us: obs.histogram("stage_ready_us"),
+            stage_read_us: obs.histogram("stage_read_us"),
+            stage_write_us: obs.histogram("stage_write_us"),
             tracer: None,
             obs,
         }
@@ -908,6 +958,12 @@ fn flush_gets(
             &mut scratch.values,
         );
     }
+    let serialize_start = obs.map(|_| Instant::now());
+    if let (Some(po), Some(t0)) = (obs, start) {
+        // Batch start to serialize start: the shard-lock stage of the
+        // request's latency attribution.
+        po.stage_lock_us.record(t0.elapsed().as_secs_f64() * 1e6);
+    }
     let serialize_span = maybe_span(tracer, "protocol", "serialize");
     scratch.cmd_hits.clear();
     let mut vi = 0;
@@ -927,6 +983,10 @@ fn flush_gets(
         scratch.cmd_hits.push(hits);
     }
     drop(serialize_span);
+    if let (Some(po), Some(t0)) = (obs, serialize_start) {
+        po.stage_serialize_us
+            .record(t0.elapsed().as_secs_f64() * 1e6);
+    }
     if let (Some(po), Some(start)) = (obs, start) {
         // The batch is timed as a unit; each command is attributed an
         // equal share so latency sums stay meaningful.
@@ -943,6 +1003,24 @@ fn flush_gets(
     scratch.values.clear();
 }
 
+/// Decodes and installs a propagated trace context when tracing is live.
+/// Returns whether a context was installed (so the caller clears it when
+/// the batch ends instead of leaking it to the next connection served by
+/// this thread).
+#[inline]
+fn adopt_trace_context(tracer: Option<&Tracer>, token: &[u8]) -> bool {
+    if !tracer.is_some_and(|t| t.is_enabled()) {
+        return false;
+    }
+    match TraceContext::decode(token) {
+        Some(ctx) => {
+            spotcache_obs::trace::set_thread_context(Some(ctx));
+            true
+        }
+        None => false,
+    }
+}
+
 fn serve_loop(
     store: &Store,
     input: &[u8],
@@ -952,13 +1030,36 @@ fn serve_loop(
     out: &mut Vec<u8>,
     scratch: &mut ServeScratch,
 ) -> usize {
-    let _serve_span = maybe_span(tracer, "protocol", "serve");
     let mut consumed = 0;
+    let mut ctx_installed = false;
+    // A propagated `trace <token>` prefix must be applied *before* the
+    // root span opens: only depth-0 spans consult the ambient context, so
+    // adopting it below the root would orphan the whole serve tree.
+    while input[consumed..].starts_with(b"trace ") {
+        match parse_request(&input[consumed..]) {
+            Ok((Request::Trace { token }, n)) => {
+                ctx_installed |= adopt_trace_context(tracer, token);
+                consumed += n;
+            }
+            _ => break,
+        }
+    }
+    let _serve_span = maybe_span(tracer, "protocol", "serve");
     while consumed < input.len() {
         let parse_span = maybe_span(tracer, "protocol", "parse");
+        let parse_start = obs.map(|_| Instant::now());
         let parsed = parse_request(&input[consumed..]);
+        if let (Some(po), Some(t0)) = (obs, parse_start) {
+            po.stage_parse_us.record(t0.elapsed().as_secs_f64() * 1e6);
+        }
         drop(parse_span);
         match parsed {
+            Ok((Request::Trace { token }, n)) => {
+                // Mid-batch context line: applies to spans opened from
+                // here on. No response bytes, not counted as an op.
+                ctx_installed |= adopt_trace_context(tracer, token);
+                consumed += n;
+            }
             Ok((Request::Get { keys }, n)) => {
                 // Defer: consecutive gets execute as one store batch.
                 let mut nk = 0;
@@ -976,12 +1077,9 @@ fn serve_loop(
                 let start = obs.map(|_| Instant::now());
                 let report = exec_mutation(store, &req, now, obs, out);
                 if let (Some(po), Some(start)) = (obs, start) {
-                    po.record(
-                        report.op,
-                        report.hit,
-                        now,
-                        start.elapsed().as_secs_f64() * 1e6,
-                    );
+                    let us = start.elapsed().as_secs_f64() * 1e6;
+                    po.stage_execute_us.record(us);
+                    po.record(report.op, report.hit, now, us);
                 }
                 consumed += n;
             }
@@ -1001,6 +1099,11 @@ fn serve_loop(
         }
     }
     flush_gets(store, input, scratch, now, obs, tracer, out);
+    if ctx_installed {
+        // Worker threads serve many connections; a propagated context
+        // must not outlive the batch that carried it.
+        spotcache_obs::trace::set_thread_context(None);
+    }
     consumed
 }
 
@@ -1391,12 +1494,92 @@ mod tests {
             "flush_all\r\n".to_string(),
             "version\r\n".to_string(),
             "stats\r\n".to_string(),
+            "trace 0000000000000001-0000000000000002-1\r\n".to_string(),
         ] {
             let (borrowed, n1) = parse_request(req.as_bytes()).unwrap();
             let (owned, n2) = parse(req.as_bytes()).unwrap();
             assert_eq!(n1, n2, "{req:?}");
             assert_eq!(borrowed.to_command(), owned, "{req:?}");
         }
+    }
+
+    #[test]
+    fn trace_command_is_silent_and_propagates_context() {
+        let s = store();
+        let tracer = spotcache_obs::Tracer::all(1024);
+        let ctx = TraceContext {
+            trace_id: 0x1234,
+            parent_span: 0x99,
+            sampled: true,
+        };
+        let input = format!("trace {}\r\nset a 0 0 1\r\nx\r\nget a\r\n", ctx.encode());
+        let mut out = Vec::new();
+        let n = serve_traced_into(&s, input.as_bytes(), 0, Some(&tracer), &mut out);
+        assert_eq!(n, input.len(), "trace line fully consumed");
+        assert_eq!(out, b"STORED\r\nVALUE a 0 1\r\nx\r\nEND\r\n");
+        let spans = tracer.spans();
+        assert!(!spans.is_empty());
+        assert!(
+            spans.iter().all(|r| r.trace_id == 0x1234),
+            "all spans join the propagated trace: {spans:?}"
+        );
+        let root = spans.iter().find(|r| r.name == "serve").unwrap();
+        assert_eq!(root.parent_id, 0x99, "root parents onto the remote span");
+        assert!(
+            spotcache_obs::trace::thread_context().is_none(),
+            "context must not leak past the serve call"
+        );
+    }
+
+    #[test]
+    fn trace_mid_batch_and_without_tracer_is_ignored() {
+        let s = store();
+        // No tracer attached: the line is consumed silently, no context
+        // sticks to the thread, responses are unchanged.
+        let out = run(
+            &s,
+            "set a 0 0 1\r\nx\r\ntrace 0000000000000001-0000000000000002-1\r\nget a\r\n",
+        );
+        assert_eq!(out, "STORED\r\nVALUE a 0 1\r\nx\r\nEND\r\n");
+        assert!(spotcache_obs::trace::thread_context().is_none());
+        // A garbage token is consumed without erroring out the stream.
+        let out = run(&s, "trace not-a-token\r\nget a\r\n");
+        assert_eq!(out, "VALUE a 0 1\r\nx\r\nEND\r\n");
+    }
+
+    #[test]
+    fn unsampled_context_suppresses_serve_spans() {
+        let s = store();
+        let tracer = spotcache_obs::Tracer::all(1024);
+        let ctx = TraceContext {
+            trace_id: 7,
+            parent_span: 8,
+            sampled: false,
+        };
+        let input = format!("trace {}\r\nget missing\r\n", ctx.encode());
+        let mut out = Vec::new();
+        serve_traced_into(&s, input.as_bytes(), 0, Some(&tracer), &mut out);
+        assert_eq!(out, b"END\r\n");
+        assert!(
+            tracer.spans().is_empty(),
+            "sampled=0 context must veto recording"
+        );
+    }
+
+    #[test]
+    fn observed_serve_populates_stage_histograms() {
+        let s = store();
+        let obs = Arc::new(Obs::new());
+        let po = ProtocolObs::new(Arc::clone(&obs));
+        serve_observed(&s, b"set a 0 0 1\r\nx\r\nget a\r\n", 0, Some(&po));
+        assert!(obs.histogram("stage_parse_us").count() >= 2);
+        assert_eq!(obs.histogram("stage_lock_us").count(), 1);
+        assert_eq!(obs.histogram("stage_serialize_us").count(), 1);
+        assert_eq!(obs.histogram("stage_execute_us").count(), 1);
+        // The server-side stages exist (zero until a server records them).
+        assert_eq!(obs.histogram("stage_ready_us").count(), 0);
+        assert_eq!(obs.histogram("stage_read_us").count(), 0);
+        assert_eq!(obs.histogram("stage_write_us").count(), 0);
     }
 
     #[test]

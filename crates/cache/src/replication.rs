@@ -48,7 +48,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use spotcache_obs::{Obs, Tracer};
+use spotcache_obs::{trace, Obs, TraceContext, Tracer};
 
 use crate::protocol::{decode_value, EXPTIME_ABSOLUTE_CUTOFF};
 use crate::store::{MutationSink, Store};
@@ -272,8 +272,19 @@ pub struct Replicator {
 
 /// Serializes a batch as replying memcached commands and the number of
 /// response lines expected back.
-fn serialize_batch(batch: &[Mutation], out: &mut Vec<u8>) -> usize {
+///
+/// When `ctx` is supplied the batch is prefixed with a `trace <token>`
+/// line: the receiving server's serve tree joins the shipper's trace,
+/// stitching source → backup into one cross-process Chrome trace. The
+/// trace line elicits no response, so the expected-ack count is
+/// unchanged.
+fn serialize_batch(batch: &[Mutation], out: &mut Vec<u8>, ctx: Option<TraceContext>) -> usize {
     out.clear();
+    if let Some(ctx) = ctx {
+        out.extend_from_slice(b"trace ");
+        out.extend_from_slice(ctx.encode().as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
     for m in batch {
         match m {
             Mutation::Set {
@@ -351,13 +362,17 @@ fn read_acks(stream: &mut TcpStream, expected: usize, buf: &mut Vec<u8>) -> std:
 /// (`spotcache_recovery::replay`): both move store contents over the wire as
 /// acked memcached commands, so a corrupt or truncated link surfaces as
 /// an `Err` instead of silent divergence.
+///
+/// `ctx` propagates the caller's trace context ahead of the batch (see
+/// [`TraceContext`]); `None` ships a plain batch.
 pub fn ship_batch(
     stream: &mut TcpStream,
     batch: &[Mutation],
     req: &mut Vec<u8>,
     ack_buf: &mut Vec<u8>,
+    ctx: Option<TraceContext>,
 ) -> std::io::Result<()> {
-    let expected = serialize_batch(batch, req);
+    let expected = serialize_batch(batch, req, ctx);
     stream.write_all(req)?;
     read_acks(stream, expected, ack_buf)
 }
@@ -381,9 +396,21 @@ impl Replicator {
             let shutdown = Arc::clone(&shutdown);
             let shared = Arc::clone(&shared);
             let queue = Arc::clone(&queue);
+            // The shipper inherits the spawner's logical pid and ambient
+            // trace context so its spans land on the right process lane
+            // and join the caller's trace.
+            let spawn_pid = trace::thread_pid();
+            let spawn_ctx = trace::thread_context();
             std::thread::Builder::new()
                 .name("repl-shipper".into())
-                .spawn(move || ship_loop(addr, queue, cfg, obs, tracer, shutdown, shared))
+                .spawn(move || {
+                    trace::set_thread_pid(spawn_pid);
+                    trace::set_thread_context(spawn_ctx);
+                    if let Some(t) = tracer.as_deref() {
+                        t.register_current_thread("repl-shipper");
+                    }
+                    ship_loop(addr, queue, cfg, obs, tracer, shutdown, shared)
+                })
                 .expect("spawn replication shipper")
         };
         Self {
@@ -569,7 +596,14 @@ fn ship_loop(
         let span = tracer
             .as_deref()
             .map(|t| t.span("replication", "ship_batch"));
-        let result = ship_batch(stream, &batch, &mut req, &mut ack_buf);
+        // Propagate this ship's span as the batch's parent context; when
+        // the span is unsampled (or tracing is off) fall back to the
+        // ambient context so a drill-driven shipper still stitches.
+        let ctx = span
+            .as_ref()
+            .and_then(|s| s.context())
+            .or_else(trace::thread_context);
+        let result = ship_batch(stream, &batch, &mut req, &mut ack_buf, ctx);
         drop(span);
         match result {
             Ok(()) => {
@@ -806,5 +840,48 @@ mod tests {
         let names: std::collections::BTreeSet<&'static str> =
             tracer.spans().iter().map(|r| r.name).collect();
         assert!(names.contains("ship_batch"), "{names:?}");
+    }
+
+    #[test]
+    fn shipped_batches_stitch_into_the_backup_servers_trace() {
+        // Source shipper and backup server share one in-process tracer
+        // (the drill topology): the backup's serve tree must join the
+        // shipper's trace via the propagated `trace` line.
+        let source = store();
+        let backup = store();
+        let clock = LogicalClock::new();
+        let tracer = Tracer::all(8192);
+        let mut server = CacheServer::start_full(
+            Arc::clone(&backup),
+            clock,
+            "127.0.0.1:0",
+            crate::server::ServerConfig::default(),
+            None,
+            Some(Arc::clone(&tracer)),
+        )
+        .expect("backup server");
+        let q = ReplicationQueue::new(1024, None);
+        source.set_mutation_sink(Some(q.clone()));
+        let mut repl = Replicator::start(
+            server.addr(),
+            q,
+            ReplicationConfig::default(),
+            None,
+            Some(Arc::clone(&tracer)),
+        );
+        source.set("a", "1");
+        assert!(repl.flush(Duration::from_secs(10)));
+        repl.stop();
+        server.stop();
+        let spans = tracer.spans();
+        let ships: Vec<_> = spans.iter().filter(|r| r.name == "ship_batch").collect();
+        let serves: Vec<_> = spans.iter().filter(|r| r.name == "serve").collect();
+        assert!(!ships.is_empty() && !serves.is_empty(), "{spans:?}");
+        assert!(
+            serves.iter().any(|sv| ships
+                .iter()
+                .any(|sh| sv.trace_id == sh.trace_id && sv.parent_id == sh.span_id)),
+            "no serve span parented onto a ship_batch span:\nships={ships:?}\nserves={serves:?}"
+        );
     }
 }

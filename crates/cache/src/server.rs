@@ -36,11 +36,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 #[cfg(target_os = "linux")]
 use std::os::unix::io::AsRawFd;
 
-use spotcache_obs::{Counter, Obs, Tracer};
+use spotcache_obs::http::standard_routes;
+use spotcache_obs::{trace, AdminServer, Counter, Obs, TraceContext, Tracer};
 
 #[cfg(target_os = "linux")]
 use crate::reactor::{Events, Interest, Poller, WakeFd};
@@ -313,6 +315,15 @@ impl Conn {
     }
 
     /// One readiness pass: flush, read-and-serve, flush.
+    ///
+    /// `batch_start` is when the worker's `epoll_wait` (or poll pass)
+    /// returned: its gap to tick entry is the readiness stage of the
+    /// per-request latency attribution. The read/write stages sum the
+    /// actual syscall durations of this pass; the parse/lock/execute/
+    /// serialize stages are recorded inside the protocol layer. With
+    /// neither obs nor an enabled tracer all of it collapses to one
+    /// relaxed atomic load.
+    #[allow(clippy::too_many_arguments)]
     fn tick(
         &mut self,
         store: &Store,
@@ -321,9 +332,18 @@ impl Conn {
         tracer: Option<&Tracer>,
         cfg: &ServerConfig,
         buf: &mut [u8],
+        batch_start: Option<Instant>,
     ) -> ConnState {
+        let timing = obs.is_some() || tracer.is_some_and(|t| t.is_enabled());
+        if timing {
+            if let (Some(po), Some(b0)) = (obs, batch_start) {
+                po.stage_ready_us.record(b0.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        let mut read_us = 0.0f64;
+        let mut write_us = 0.0f64;
         let mut moved = false;
-        if !self.flush_out(&mut moved) {
+        if !timed_flush(self, timing, &mut write_us, &mut moved) {
             return ConnState::Closed;
         }
         if !self.eof && self.backpressured(cfg) {
@@ -332,12 +352,17 @@ impl Conn {
             // on the timeline.
             if let Some(t) = tracer {
                 if t.is_enabled() {
-                    t.record_at("server", "backpressure_stall", t.now_us(), 0.0);
+                    t.record_at_sampled("server", "backpressure_stall", t.now_us(), 0.0);
                 }
             }
         }
         while !self.eof && !self.backpressured(cfg) {
-            match self.stream.read(buf) {
+            let read_t0 = if timing { Some(Instant::now()) } else { None };
+            let read_result = self.stream.read(buf);
+            if let Some(t0) = read_t0 {
+                read_us += t0.elapsed().as_secs_f64() * 1e6;
+            }
+            match read_result {
                 Ok(0) => self.eof = true,
                 Ok(n) => {
                     moved = true;
@@ -380,8 +405,29 @@ impl Conn {
                 Err(_) => return ConnState::Closed,
             }
         }
-        if !self.flush_out(&mut moved) {
+        if !timed_flush(self, timing, &mut write_us, &mut moved) {
             return ConnState::Closed;
+        }
+        if timing {
+            if let Some(po) = obs {
+                if read_us > 0.0 {
+                    po.stage_read_us.record(read_us);
+                }
+                if write_us > 0.0 {
+                    po.stage_write_us.record(write_us);
+                }
+            }
+            if let Some(t) = tracer.filter(|t| t.is_enabled()) {
+                // Coarse sub-spans so the stages are visible on the
+                // timeline next to the protocol-layer spans. Backdated by
+                // their own duration: the syscalls happened just before.
+                if read_us > 0.0 {
+                    t.record_at_sampled("server", "stage_read", t.now_us() - read_us, read_us);
+                }
+                if write_us > 0.0 {
+                    t.record_at_sampled("server", "stage_write", t.now_us() - write_us, write_us);
+                }
+            }
         }
         if self.eof && self.out_cursor == self.pending_out.len() {
             ConnState::Closed
@@ -389,6 +435,17 @@ impl Conn {
             ConnState::Open { moved }
         }
     }
+}
+
+/// [`Conn::flush_out`] with the write stage's syscall time accumulated
+/// into `write_us` when stage timing is live.
+fn timed_flush(conn: &mut Conn, timing: bool, write_us: &mut f64, moved: &mut bool) -> bool {
+    let t0 = if timing { Some(Instant::now()) } else { None };
+    let ok = conn.flush_out(moved);
+    if let Some(t0) = t0 {
+        *write_us += t0.elapsed().as_secs_f64() * 1e6;
+    }
+    ok
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -429,6 +486,11 @@ fn worker_loop(
             .as_deref()
             .filter(|t| t.is_enabled())
             .map(|t| t.now_us());
+        let batch_start = if obs.is_some() || pass_start.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let mut i = 0;
         while i < conns.len() {
             match conns[i].tick(
@@ -438,6 +500,7 @@ fn worker_loop(
                 tracer.as_deref(),
                 &cfg,
                 &mut buf,
+                batch_start,
             ) {
                 ConnState::Closed => {
                     active.fetch_sub(1, Ordering::SeqCst);
@@ -458,7 +521,7 @@ fn worker_loop(
         // spinning worker would otherwise flood the trace buffer.
         if moved {
             if let (Some(t), Some(t0)) = (tracer.as_deref(), pass_start) {
-                t.record_at("server", "poll_busy", t0, t.now_us() - t0);
+                t.record_at_sampled("server", "poll_busy", t0, t.now_us() - t0);
             }
         }
         if moved {
@@ -545,8 +608,15 @@ fn reactor_worker_loop(
             m.events.add(n as u64);
         }
         if let (Some(t), Some(t0)) = (tracer.as_deref(), wait_start) {
-            t.record_at("reactor", "epoll_wait", t0, t.now_us() - t0);
+            t.record_at_sampled("reactor", "epoll_wait", t0, t.now_us() - t0);
         }
+        // The instant readiness was reported: every connection ticked in
+        // this batch measures its readiness stage from here.
+        let batch_start = if obs.is_some() || wait_start.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let now = clock.now();
         for i in 0..events.len() {
             let ev = match events.get(i) {
@@ -562,7 +632,7 @@ fn reactor_worker_loop(
                 }
                 if let Some(t) = tracer.as_deref() {
                     if t.is_enabled() {
-                        t.record_at("reactor", "wakeup", t.now_us(), 0.0);
+                        t.record_at_sampled("reactor", "wakeup", t.now_us(), 0.0);
                     }
                 }
                 if shutdown.load(Ordering::SeqCst) {
@@ -602,6 +672,7 @@ fn reactor_worker_loop(
                 tracer.as_deref(),
                 &cfg,
                 &mut buf,
+                batch_start,
             ) {
                 ConnState::Closed => {
                     let _ = poller.delete(conn.stream.as_raw_fd());
@@ -629,7 +700,7 @@ fn reactor_worker_loop(
                             }
                             if let Some(t) = tracer.as_deref() {
                                 if t.is_enabled() {
-                                    t.record_at("reactor", "rearm", t.now_us(), 0.0);
+                                    t.record_at_sampled("reactor", "rearm", t.now_us(), 0.0);
                                 }
                             }
                         }
@@ -756,6 +827,12 @@ pub struct CacheServer {
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     active: Arc<AtomicUsize>,
+    /// Kept for the admin scrape endpoint (`/metrics`, `/journal`).
+    obs: Option<Arc<Obs>>,
+    /// Kept for the admin `/trace` route.
+    tracer: Option<Arc<Tracer>>,
+    /// The live scrape endpoint, once [`Self::start_admin`] attaches one.
+    admin: Option<AdminServer>,
     #[cfg(target_os = "linux")]
     accept_wake: Option<Arc<WakeFd>>,
     #[cfg(target_os = "linux")]
@@ -814,6 +891,12 @@ impl CacheServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
         let clock: Arc<dyn Clock> = Arc::new(clock);
+        // Server threads inherit the spawner's logical pid and ambient
+        // trace context: a drill that starts several in-process "nodes"
+        // gets each node's server spans on that node's process lane in
+        // the stitched Chrome trace.
+        let spawn_pid = trace::thread_pid();
+        let spawn_ctx = trace::thread_context();
         let proto_obs = obs.as_ref().map(|o| {
             let po = ProtocolObs::new(Arc::clone(o));
             match &tracer {
@@ -861,6 +944,11 @@ impl CacheServer {
                     let handle = std::thread::Builder::new()
                         .name(format!("cache-reactor-{w}"))
                         .spawn(move || {
+                            trace::set_thread_pid(spawn_pid);
+                            trace::set_thread_context(spawn_ctx);
+                            if let Some(t) = tracer.as_deref() {
+                                t.register_current_thread(&format!("cache-reactor-{w}"));
+                            }
                             reactor_worker_loop(
                                 poller, injector, store, clock, shutdown, obs, tracer, metrics,
                                 cfg, active,
@@ -882,6 +970,11 @@ impl CacheServer {
                     let handle = std::thread::Builder::new()
                         .name(format!("cache-worker-{w}"))
                         .spawn(move || {
+                            trace::set_thread_pid(spawn_pid);
+                            trace::set_thread_context(spawn_ctx);
+                            if let Some(t) = tracer.as_deref() {
+                                t.register_current_thread(&format!("cache-worker-{w}"));
+                            }
                             worker_loop(rx, store, clock, shutdown, obs, tracer, cfg, active)
                         })?;
                     worker_handles.push(handle);
@@ -901,6 +994,11 @@ impl CacheServer {
             let accept_handle = std::thread::Builder::new()
                 .name("cache-accept".to_string())
                 .spawn(move || {
+                    trace::set_thread_pid(spawn_pid);
+                    trace::set_thread_context(spawn_ctx);
+                    if let Some(t) = accept_tracer.as_deref() {
+                        t.register_current_thread("cache-accept");
+                    }
                     // Round-robin connection sharding onto workers; a
                     // dropped handoff means that worker is gone (shutdown
                     // race) and dropping the stream closes the connection.
@@ -932,6 +1030,9 @@ impl CacheServer {
                 accept_handle: Some(accept_handle),
                 worker_handles,
                 active,
+                obs,
+                tracer,
+                admin: None,
                 accept_wake: Some(accept_wake),
                 injectors,
             })
@@ -954,6 +1055,11 @@ impl CacheServer {
                 let handle = std::thread::Builder::new()
                     .name(format!("cache-worker-{w}"))
                     .spawn(move || {
+                        trace::set_thread_pid(spawn_pid);
+                        trace::set_thread_context(spawn_ctx);
+                        if let Some(t) = tracer.as_deref() {
+                            t.register_current_thread(&format!("cache-worker-{w}"));
+                        }
                         worker_loop(rx, store, clock, shutdown, obs, tracer, cfg, active)
                     })?;
                 worker_handles.push(handle);
@@ -963,6 +1069,11 @@ impl CacheServer {
             let accept_handle = std::thread::Builder::new()
                 .name("cache-accept".to_string())
                 .spawn(move || {
+                    trace::set_thread_pid(spawn_pid);
+                    trace::set_thread_context(spawn_ctx);
+                    if let Some(t) = accept_tracer.as_deref() {
+                        t.register_current_thread("cache-accept");
+                    }
                     let mut next = 0usize;
                     let dispatch = move |s: TcpStream| {
                         let _ = senders[next % senders.len()].send(s);
@@ -983,6 +1094,9 @@ impl CacheServer {
                 accept_handle: Some(accept_handle),
                 worker_handles,
                 active,
+                obs,
+                tracer,
+                admin: None,
             })
         }
     }
@@ -990,6 +1104,41 @@ impl CacheServer {
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Attaches the live scrape endpoint (own thread, dependency-free
+    /// HTTP/1.1) serving `/metrics` (Prometheus text), `/healthz`,
+    /// `/trace` (drains the span buffer as Chrome-trace JSON), and
+    /// `/journal` (NDJSON). Use port 0 in `bind` for an ephemeral port;
+    /// returns the bound address. Requires a server started with `obs`.
+    pub fn start_admin(&mut self, bind: &str) -> std::io::Result<SocketAddr> {
+        self.start_admin_with(bind, None)
+    }
+
+    /// [`start_admin`](Self::start_admin) with a caller-assembled
+    /// `/healthz` body — the binary layer composes the phase machine and
+    /// SLO burn state there (the server itself knows neither).
+    pub fn start_admin_with(
+        &mut self,
+        bind: &str,
+        healthz: Option<Box<dyn Fn() -> String + Send + Sync>>,
+    ) -> std::io::Result<SocketAddr> {
+        let obs = self.obs.clone().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "admin endpoint requires a server started with obs",
+            )
+        })?;
+        let routes = standard_routes(obs, self.tracer.clone(), healthz);
+        let admin = AdminServer::start(bind, routes)?;
+        let addr = admin.addr();
+        self.admin = Some(admin);
+        Ok(addr)
+    }
+
+    /// The admin endpoint's bound address, when one is attached.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(|a| a.addr())
     }
 
     /// Connections currently owned by workers (monitoring/test hook).
@@ -1012,6 +1161,9 @@ impl CacheServer {
     /// accept loop, or hang when the bind address was unroutable from
     /// localhost — survives only on the non-Linux fallback plane.
     pub fn stop(&mut self) {
+        if let Some(mut admin) = self.admin.take() {
+            admin.stop();
+        }
         self.shutdown.store(true, Ordering::SeqCst);
         #[cfg(target_os = "linux")]
         {
@@ -1086,6 +1238,15 @@ impl CacheClient {
         let end = self.read_line()?; // END
         debug_assert_eq!(end, "END");
         Ok(Some(data))
+    }
+
+    /// Sends a `trace <token>` context line: the server stitches the
+    /// spans of every later request on this connection into `ctx`'s
+    /// trace. The line elicits no response bytes, so request/response
+    /// accounting is unaffected.
+    pub fn send_trace(&mut self, ctx: TraceContext) -> std::io::Result<()> {
+        self.stream
+            .write_all(format!("trace {}\r\n", ctx.encode()).as_bytes())
     }
 
     /// Deletes a key; returns the response line.
@@ -1400,7 +1561,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let mut ballooned = 0usize;
         for _ in 0..50 {
-            match conn.tick(&store, 0, None, None, &cfg, &mut buf) {
+            match conn.tick(&store, 0, None, None, &cfg, &mut buf, None) {
                 ConnState::Open { .. } => {}
                 ConnState::Closed => panic!("connection died while serving"),
             }
@@ -1431,7 +1592,7 @@ mod tests {
                 Err(e) if retriable_io(&e) => {}
                 Err(e) => panic!("peer read failed: {e}"),
             }
-            match conn.tick(&store, 0, None, None, &cfg, &mut buf) {
+            match conn.tick(&store, 0, None, None, &cfg, &mut buf, None) {
                 ConnState::Open { .. } => {}
                 ConnState::Closed => panic!("connection died while draining"),
             }
@@ -1549,5 +1710,130 @@ mod tests {
         }
         // Journal timestamps come from the logical clock, not wall time.
         assert!(obs.journal().events().iter().all(|e| e.t == 42));
+    }
+
+    #[test]
+    fn observed_server_fills_stage_histograms() {
+        let store = Arc::new(Store::with_capacity(4 << 20));
+        let clock = LogicalClock::new();
+        let obs = Arc::new(Obs::new());
+        let mut server = CacheServer::start_observed(
+            Arc::clone(&store),
+            clock,
+            "127.0.0.1:0",
+            Some(Arc::clone(&obs)),
+        )
+        .unwrap();
+        let mut client = CacheClient::connect(server.addr()).unwrap();
+        client.set("k", b"v", 0).unwrap();
+        assert!(client.get("k").unwrap().is_some());
+        server.stop();
+        // Every stage of the attribution pipeline saw at least one sample:
+        // readiness gap, read/write syscalls (server layer) and parse/
+        // lock/execute/serialize (protocol layer).
+        for stage in [
+            "stage_ready_us",
+            "stage_read_us",
+            "stage_write_us",
+            "stage_parse_us",
+            "stage_lock_us",
+            "stage_execute_us",
+            "stage_serialize_us",
+        ] {
+            assert!(obs.histogram(stage).count() >= 1, "no samples in {stage}");
+        }
+    }
+
+    #[test]
+    fn trace_context_propagates_over_tcp() {
+        let store = Arc::new(Store::with_capacity(4 << 20));
+        let clock = LogicalClock::new();
+        let tracer = Tracer::all(8192);
+        let mut server = CacheServer::start_full(
+            Arc::clone(&store),
+            clock,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            None,
+            Some(Arc::clone(&tracer)),
+        )
+        .unwrap();
+        let ctx = spotcache_obs::TraceContext {
+            trace_id: 0xabcd_ef01,
+            parent_span: 0x42,
+            sampled: true,
+        };
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_nodelay(true).unwrap();
+        s.write_all(format!("trace {}\r\nget k\r\n", ctx.encode()).as_bytes())
+            .unwrap();
+        let mut got = vec![0u8; 5];
+        s.read_exact(&mut got).unwrap();
+        assert_eq!(got, b"END\r\n");
+        server.stop();
+        let serve_spans: Vec<_> = tracer
+            .spans()
+            .into_iter()
+            .filter(|r| r.name == "serve")
+            .collect();
+        assert!(!serve_spans.is_empty());
+        assert!(
+            serve_spans
+                .iter()
+                .all(|r| r.trace_id == 0xabcd_ef01 && r.parent_id == 0x42),
+            "serve spans must join the propagated trace: {serve_spans:?}"
+        );
+    }
+
+    #[test]
+    fn admin_endpoint_scrapes_a_live_server() {
+        let store = Arc::new(Store::with_capacity(4 << 20));
+        let clock = LogicalClock::new();
+        let obs = Arc::new(Obs::new());
+        let tracer = Tracer::all(8192);
+        let mut server = CacheServer::start_full(
+            Arc::clone(&store),
+            clock,
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Some(Arc::clone(&obs)),
+            Some(Arc::clone(&tracer)),
+        )
+        .unwrap();
+        let admin = server.start_admin("127.0.0.1:0").unwrap();
+        assert_eq!(server.admin_addr(), Some(admin));
+        let mut client = CacheClient::connect(server.addr()).unwrap();
+        client.set("k", b"v", 0).unwrap();
+        assert!(client.get("k").unwrap().is_some());
+
+        let timeout = Duration::from_secs(2);
+        let (code, body) = spotcache_obs::http::http_get(admin, "/metrics", timeout).unwrap();
+        assert_eq!(code, 200);
+        spotcache_obs::export::validate_prometheus_text(&body)
+            .unwrap_or_else(|at| panic!("invalid exposition at line {at}:\n{body}"));
+        assert!(body.contains("cache_get_total 1"), "{body}");
+        assert!(body.contains("stage_ready_us"), "{body}");
+
+        let (code, body) = spotcache_obs::http::http_get(admin, "/healthz", timeout).unwrap();
+        assert_eq!(code, 200);
+        spotcache_obs::export::validate_json(&body).unwrap();
+
+        let (code, body) = spotcache_obs::http::http_get(admin, "/trace", timeout).unwrap();
+        assert_eq!(code, 200);
+        spotcache_obs::export::validate_json(&body).unwrap();
+        assert!(body.contains("\"serve\""), "live spans drained: {body}");
+
+        server.stop();
+        assert!(
+            spotcache_obs::http::http_get(admin, "/metrics", timeout).is_err(),
+            "admin endpoint must stop with the server"
+        );
+    }
+
+    #[test]
+    fn start_admin_requires_obs() {
+        let (mut server, _store, _clock) = start_server();
+        assert!(server.start_admin("127.0.0.1:0").is_err());
+        server.stop();
     }
 }

@@ -194,6 +194,146 @@ pub fn json_snapshot(registry: &Registry, journal: &Journal) -> String {
     )
 }
 
+/// Renders the journal as NDJSON: one event object per line, oldest
+/// first, each line independently `validate_json`-clean. The `/journal`
+/// scrape route serves this so operators can `tail`/`grep` it directly.
+pub fn journal_ndjson(journal: &Journal) -> String {
+    let events = journal.events();
+    let mut out = String::new();
+    for ev in &events {
+        out.push_str(&json_event(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and newline are escaped; everything else
+/// passes through verbatim.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validates Prometheus text exposition syntax: every line must be a
+/// comment (`# ...`, with `# TYPE <name> <kind>` checked strictly) or a
+/// sample `name[{labels}] value`, where label values use
+/// [`escape_label_value`] escaping and the value is a float, `NaN`, or
+/// `±Inf`. Returns `Err(byte offset)` of the first violation — the
+/// scrape-gate twin of [`validate_json`].
+pub fn validate_prometheus_text(input: &str) -> Result<(), usize> {
+    let mut offset = 0;
+    for line in input.split('\n') {
+        let res = validate_prometheus_line(line);
+        if let Err(at) = res {
+            return Err(offset + at);
+        }
+        offset += line.len() + 1;
+    }
+    Ok(())
+}
+
+fn is_metric_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b':'
+}
+
+fn is_metric_name_char(c: u8) -> bool {
+    is_metric_name_start(c) || c.is_ascii_digit()
+}
+
+fn validate_prometheus_line(line: &str) -> Result<(), usize> {
+    let b = line.as_bytes();
+    if b.is_empty() {
+        return Ok(());
+    }
+    if b[0] == b'#' {
+        // `# TYPE <name> <kind>` is checked strictly; other comments pass.
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            let name_ok = !name.is_empty()
+                && is_metric_name_start(name.as_bytes()[0])
+                && name.bytes().all(is_metric_name_char);
+            let kind_ok = matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            );
+            if !name_ok || !kind_ok || parts.next().is_some() {
+                return Err(0);
+            }
+        }
+        return Ok(());
+    }
+    let mut pos = 0;
+    if !is_metric_name_start(b[0]) {
+        return Err(0);
+    }
+    while pos < b.len() && is_metric_name_char(b[pos]) {
+        pos += 1;
+    }
+    if b.get(pos) == Some(&b'{') {
+        pos += 1;
+        loop {
+            // label name
+            let start = pos;
+            while pos < b.len() && is_metric_name_char(b[pos]) {
+                pos += 1;
+            }
+            if pos == start || b.get(pos) != Some(&b'=') {
+                return Err(pos);
+            }
+            pos += 1;
+            if b.get(pos) != Some(&b'"') {
+                return Err(pos);
+            }
+            pos += 1;
+            loop {
+                match b.get(pos) {
+                    Some(b'"') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(b'\\') => match b.get(pos + 1) {
+                        Some(b'\\' | b'"' | b'n') => pos += 2,
+                        _ => return Err(pos),
+                    },
+                    Some(b'\n') | None => return Err(pos),
+                    Some(_) => pos += 1,
+                }
+            }
+            match b.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(pos),
+            }
+        }
+    }
+    if b.get(pos) != Some(&b' ') {
+        return Err(pos);
+    }
+    pos += 1;
+    let value = &line[pos..];
+    let value_ok = matches!(value, "NaN" | "+Inf" | "-Inf" | "Inf")
+        || (!value.is_empty() && value.parse::<f64>().is_ok());
+    if value_ok {
+        Ok(())
+    } else {
+        Err(pos)
+    }
+}
+
 /// Minimal recursive-descent JSON validator (structure only, no value
 /// extraction). Returns `Err(byte offset)` at the first syntax error.
 pub fn validate_json(input: &str) -> Result<(), usize> {
@@ -445,6 +585,110 @@ mod tests {
         let (r, j) = populated();
         assert_eq!(json_snapshot(&r, &j), json_snapshot(&r, &j));
         assert_eq!(prometheus_text(&r), prometheus_text(&r));
+    }
+
+    #[test]
+    fn prometheus_text_passes_its_own_validator() {
+        let (r, _) = populated();
+        r.gauge("weird_nan").set(f64::NAN);
+        r.gauge("weird_inf").set(f64::INFINITY);
+        r.gauge("weird_negzero").set(-0.0);
+        let text = prometheus_text(&r);
+        validate_prometheus_text(&text)
+            .unwrap_or_else(|at| panic!("invalid prometheus text at byte {at}: {text}"));
+        // NaN keeps its spelling; -0 normalizes to 0 (never `-0`).
+        assert!(text.contains("weird_nan NaN"));
+        assert!(text.contains("weird_inf +Inf"));
+        assert!(text.contains("weird_negzero 0\n"));
+        assert!(!text.contains("-0\n"));
+    }
+
+    #[test]
+    fn label_value_escaping_edge_cases_validate() {
+        for raw in [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "new\nline",
+            "all\\three\"\n",
+            "",
+        ] {
+            let line = format!("series{{label=\"{}\"}} 1", escape_label_value(raw));
+            validate_prometheus_text(&line)
+                .unwrap_or_else(|at| panic!("escaped {raw:?} invalid at {at}: {line}"));
+        }
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed() {
+        for bad in [
+            "1leading_digit 1",
+            "name",                           // no value
+            "name abc",                       // junk value
+            "name{label=\"unterminated} 1",   // quote never closed
+            "name{label=\"raw\nnewline\"} 1", // literal newline in value
+            "name{label=\"bad\\q\"} 1",       // unknown escape
+            "name{=\"x\"} 1",                 // empty label name
+            "name{a=\"x\" b=\"y\"} 1",        // missing comma
+            "# TYPE name nonsense",
+            "# TYPE 9name counter",
+            "# TYPE name counter extra",
+        ] {
+            assert!(validate_prometheus_text(bad).is_err(), "accepted {bad:?}");
+        }
+        for good in [
+            "",
+            "# HELP anything goes here",
+            "# TYPE cache_ops_total counter",
+            "cache_ops_total 7",
+            "lat{quantile=\"0.5\"} 12.5",
+            "g NaN",
+            "g -Inf",
+            "multi{a=\"x\",b=\"y\"} 1e-3",
+        ] {
+            validate_prometheus_text(good).unwrap_or_else(|at| panic!("rejected {good:?} at {at}"));
+        }
+    }
+
+    #[test]
+    fn export_order_is_insertion_independent() {
+        // The determinism lock-in: two registries populated in opposite
+        // orders must export byte-identically (BTreeMap name ordering).
+        let names = ["zeta_total", "alpha_total", "mid_level", "beta_lat"];
+        let build = |order: &[usize]| {
+            let r = Registry::new();
+            for &i in order {
+                match names[i] {
+                    n if n.ends_with("_total") => r.counter(n).add(i as u64 + 1),
+                    n if n.ends_with("_level") => r.gauge(n).set(i as f64),
+                    n => {
+                        r.histogram(n).record(i as f64 + 0.5);
+                    }
+                }
+            }
+            r
+        };
+        let fwd = build(&[0, 1, 2, 3]);
+        let rev = build(&[3, 2, 1, 0]);
+        assert_eq!(prometheus_text(&fwd), prometheus_text(&rev));
+        let j = Journal::new();
+        assert_eq!(json_snapshot(&fwd, &j), json_snapshot(&rev, &j));
+        // And repeated scrapes of the same registry are byte-identical.
+        assert_eq!(prometheus_text(&fwd), prometheus_text(&fwd));
+    }
+
+    #[test]
+    fn journal_ndjson_roundtrips_events() {
+        let (_, j) = populated();
+        let body = journal_ndjson(&j);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            validate_json(line).unwrap_or_else(|at| panic!("bad line at {at}: {line}"));
+        }
+        assert!(lines[0].contains("\"kind\":\"bid_placed\""));
+        assert!(journal_ndjson(&Journal::new()).is_empty());
     }
 
     #[test]

@@ -137,13 +137,19 @@ impl Journal {
     }
 
     /// Appends an event, dropping the oldest if the ring is full.
-    pub fn record(&self, t: u64, kind: EventKind) {
+    /// Returns `true` when an old event was evicted to make room, so
+    /// callers holding a metrics registry can surface drops as a counter
+    /// (see `Obs::event`) instead of leaving them silent.
+    pub fn record(&self, t: u64, kind: EventKind) -> bool {
         let mut r = self.ring.lock();
+        let mut evicted = false;
         if r.events.len() == self.capacity {
             r.events.pop_front();
             r.dropped += 1;
+            evicted = true;
         }
         r.events.push_back(Event { t, kind });
+        evicted
     }
 
     /// Snapshot of retained events, oldest first.

@@ -40,19 +40,33 @@ mod journal;
 mod registry;
 
 pub mod export;
+pub mod http;
 pub mod timeseries;
 pub mod trace;
 
+pub use http::AdminServer;
 pub use journal::{Event, EventKind, Journal, DEFAULT_JOURNAL_CAPACITY};
 pub use registry::{Counter, Gauge, Histogram, Metric, Registry};
 pub use timeseries::{SlidingWindow, SloWindow, StormDetector, WindowStats};
-pub use trace::{SpanGuard, SpanRecord, TraceConfig, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use trace::{
+    SpanGuard, SpanRecord, TraceConfig, TraceContext, Tracer, DEFAULT_TRACE_CAPACITY,
+    TRACE_CONTEXT_LEN,
+};
 
 /// The bundle an instrumented layer holds: one registry + one journal.
-#[derive(Default)]
 pub struct Obs {
     registry: Registry,
     journal: Journal,
+    /// Pre-registered `journal_dropped_total`: events evicted from the
+    /// bounded journal to make room (a saturated journal is otherwise
+    /// indistinguishable from a quiet one on the scrape path).
+    journal_dropped: Counter,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
 }
 
 impl Obs {
@@ -63,9 +77,12 @@ impl Obs {
 
     /// Creates a bundle whose journal retains at most `capacity` events.
     pub fn with_journal_capacity(capacity: usize) -> Self {
+        let registry = Registry::new();
+        let journal_dropped = registry.counter("journal_dropped_total");
         Self {
-            registry: Registry::new(),
+            registry,
             journal: Journal::with_capacity(capacity),
+            journal_dropped,
         }
     }
 
@@ -94,9 +111,18 @@ impl Obs {
         self.registry.histogram(name)
     }
 
-    /// Appends `kind` to the journal at logical time `t`.
+    /// Appends `kind` to the journal at logical time `t`, bumping
+    /// `journal_dropped_total` when the bounded journal had to evict.
     pub fn event(&self, t: u64, kind: EventKind) {
-        self.journal.record(t, kind);
+        if self.journal.record(t, kind) {
+            self.journal_dropped.inc();
+        }
+    }
+
+    /// The journal as NDJSON, one event object per line (the `/journal`
+    /// scrape route's body).
+    pub fn journal_ndjson(&self) -> String {
+        export::journal_ndjson(&self.journal)
     }
 
     /// Prometheus text exposition of every registered series.
@@ -151,5 +177,53 @@ mod tests {
         }
         assert_eq!(obs.journal().len(), 2);
         assert_eq!(obs.journal().dropped(), 2);
+    }
+
+    #[test]
+    fn journal_drops_surface_as_a_counter() {
+        let obs = Obs::with_journal_capacity(2);
+        // Pre-registered: visible (as 0) before any drop happens.
+        assert!(obs.prometheus_text().contains("journal_dropped_total 0"));
+        for t in 0..5 {
+            obs.event(
+                t,
+                EventKind::CacheOp {
+                    op: "get".into(),
+                    hit: true,
+                    latency_us: 1.0,
+                },
+            );
+        }
+        assert_eq!(obs.counter("journal_dropped_total").get(), 3);
+        assert!(obs.prometheus_text().contains("journal_dropped_total 3"));
+        assert!(obs.json_snapshot().contains("\"journal_dropped_total\":3"));
+    }
+
+    #[test]
+    fn journal_ndjson_is_line_per_event() {
+        let obs = Obs::new();
+        obs.event(
+            1,
+            EventKind::NodeLaunched {
+                label: "m4.large".into(),
+                count: 2,
+            },
+        );
+        obs.event(
+            2,
+            EventKind::CacheOp {
+                op: "set".into(),
+                hit: true,
+                latency_us: 3.5,
+            },
+        );
+        let body = obs.journal_ndjson();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            export::validate_json(line).unwrap_or_else(|at| panic!("bad line at {at}: {line}"));
+        }
+        assert!(lines[0].contains("\"kind\":\"node_launched\""));
+        assert!(lines[1].contains("\"kind\":\"cache_op\""));
     }
 }

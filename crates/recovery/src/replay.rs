@@ -186,7 +186,11 @@ pub fn pump_hot_set(
         }
         let stream = conn.as_mut().expect("connected above");
         let span = tracer.map(|t| t.span("drill", "pump_batch"));
-        let result = ship_batch(stream, &snapshot[idx..end], &mut req, &mut ack_buf);
+        let ctx = span
+            .as_ref()
+            .and_then(|s| s.context())
+            .or_else(spotcache_obs::trace::thread_context);
+        let result = ship_batch(stream, &snapshot[idx..end], &mut req, &mut ack_buf, ctx);
         drop(span);
         match result {
             Ok(()) => {

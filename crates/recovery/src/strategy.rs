@@ -263,7 +263,11 @@ fn ship_tail(
         let end = (idx + cfg.batch_max.max(1)).min(tail.len());
         let stream = conn.as_mut().expect("connected above");
         let span = tracer.map(|t| t.span("checkpoint", "top_up_batch"));
-        let result = ship_batch(stream, &tail[idx..end], &mut req, &mut ack_buf);
+        let ctx = span
+            .as_ref()
+            .and_then(|s| s.context())
+            .or_else(spotcache_obs::trace::thread_context);
+        let result = ship_batch(stream, &tail[idx..end], &mut req, &mut ack_buf, ctx);
         drop(span);
         match result {
             Ok(()) => {

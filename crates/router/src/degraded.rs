@@ -53,6 +53,19 @@ pub enum DrillPhase {
     Warmed,
 }
 
+impl DrillPhase {
+    /// Stable lower-case name, suitable for `/healthz` payloads and
+    /// metric label values.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DrillPhase::Healthy => "healthy",
+            DrillPhase::Warning => "warning",
+            DrillPhase::Degraded => "degraded",
+            DrillPhase::Warmed => "warmed",
+        }
+    }
+}
+
 /// Which recovery strategy is restoring the replacement, as selected by
 /// the recovery layer (`spotcache_recovery::RecoveryStrategy::mode`).
 ///
@@ -71,6 +84,18 @@ pub enum RecoveryMode {
     /// Checkpoint restore plus replication-tail top-up; routes like
     /// `Replay` (the checkpoint lands early in the restore window).
     Hybrid,
+}
+
+impl RecoveryMode {
+    /// Stable lower-case name, suitable for `/healthz` payloads and
+    /// metric label values.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryMode::Replay => "replay",
+            RecoveryMode::Checkpoint => "checkpoint",
+            RecoveryMode::Hybrid => "hybrid",
+        }
+    }
 }
 
 /// Where a request should be sent.
@@ -335,6 +360,19 @@ mod tests {
         r.on_revoked();
         assert_eq!(r.phase(), DrillPhase::Degraded);
         assert_eq!(r.read_plan().fallback, Some(ServeTarget::BackupStale));
+    }
+
+    #[test]
+    fn phase_and_mode_names_are_stable() {
+        // `/healthz` payloads and dashboards key on these strings; a
+        // rename is a breaking change and must show up here.
+        assert_eq!(DrillPhase::Healthy.as_str(), "healthy");
+        assert_eq!(DrillPhase::Warning.as_str(), "warning");
+        assert_eq!(DrillPhase::Degraded.as_str(), "degraded");
+        assert_eq!(DrillPhase::Warmed.as_str(), "warmed");
+        assert_eq!(RecoveryMode::Replay.as_str(), "replay");
+        assert_eq!(RecoveryMode::Checkpoint.as_str(), "checkpoint");
+        assert_eq!(RecoveryMode::Hybrid.as_str(), "hybrid");
     }
 
     #[test]
