@@ -164,6 +164,53 @@ for n in doc["per_node"]:
 assert doc.get("scrapes"), "--scrape-interval run must embed live /metrics snapshots"
 PY
 
+echo "==> storm drill smoke test (correlated revocation waves, decay curves)"
+st="$(mktemp /tmp/storm_drill.XXXXXX.json)"
+trap 'rm -f "$snap" "$lg" "$tr" "$lgtr" "$dr" "$drtr" "$cl" "$st"' EXIT
+# The bin asserts the recovery-ordering invariants itself (warned <=
+# unwarned for the identical kill-set, no permanent floor loss, trigger
+# before the first burn breach); re-check the artifact's schema and the
+# headline invariants here so the gate does not rely on the bin's
+# asserts alone.
+cargo run --release -q -p spotcache-bench --bin storm_drill -- --smoke --out "$st" \
+    | grep -q "storm drill OK"
+python3 - "$st" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spotcache-storm-v1", doc.get("schema")
+scenarios = doc["scenarios"]
+expect = {"warned", "unwarned", "cascade", "multi_router_degraded"}
+assert expect <= set(scenarios), f"missing scenarios: {expect - set(scenarios)}"
+rf = doc["recovery_fraction"]
+for name, sc in scenarios.items():
+    series = sc["series"]
+    for curve in ("fresh", "served", "stale", "burn", "degraded"):
+        pts = series[curve]
+        assert pts, f"{name}: empty {curve} series"
+        ts = [t for t, _ in pts]
+        assert ts == sorted(ts) and len(ts) == len(set(ts)), \
+            f"{name}: {curve} timestamps not strictly monotone"
+    assert sc["recovery_windows"] is not None, f"{name}: never recovered"
+    assert sc["storm_trigger_window"] is not None, f"{name}: detector never fired"
+    assert sc["storm_trigger_latency_windows"] <= doc["storm_detector"]["window"], \
+        f"{name}: trigger latency exceeds the detector window"
+    assert sc["final_fresh_rate"] >= rf * sc["steady_fresh_rate"], \
+        f"{name}: permanent hit-rate floor loss"
+    if sc["burn_breaches"]:
+        assert sc["storm_trigger_window"] <= sc["burn_breaches"][0][0], \
+            f"{name}: storm trigger lagged the first SLO burn breach"
+    assert len(sc["killed"]) == len(sc["kill_windows"]), f"{name}: kill bookkeeping"
+w, u = scenarios["warned"], scenarios["unwarned"]
+assert w["killed"] == u["killed"] and w["kill_windows"] == u["kill_windows"], \
+    "warned/unwarned runs must face the identical storm"
+assert w["recovery_windows"] <= u["recovery_windows"], \
+    "warned recovery must not exceed unwarned for the same kill-set"
+assert scenarios["multi_router_degraded"]["max_degraded_routers"] >= 2, \
+    "multi-router scenario must degrade >=2 routers simultaneously"
+assert len(scenarios["cascade"]["killed"]) > len(w["killed"]), \
+    "cascade must out-kill a single wave"
+PY
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -7,12 +7,14 @@
 //! `benches/` holds Criterion micro-benchmarks over the core data
 //! structures. This library crate carries small output helpers shared by
 //! the binaries plus [`faults`], the fault-injecting TCP proxy the
-//! `revocation_drill` bin aims replication links through, and
-//! [`scrape`], the live-telemetry poller behind the loadgens'
-//! `--scrape-interval` flag.
+//! `revocation_drill` bin aims replication links through (plus the
+//! correlated-storm scheduler), [`storm`], the fleet-scale churn
+//! engine behind `storm_drill`, and [`scrape`], the live-telemetry
+//! poller behind the loadgens' `--scrape-interval` flag.
 
 pub mod faults;
 pub mod scrape;
+pub mod storm;
 
 /// Prints a fixed-width text table: a header row, a rule, then rows.
 ///

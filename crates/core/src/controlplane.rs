@@ -188,6 +188,9 @@ struct ControlTelemetry {
     storms: StormDetector,
     /// Revocations ingested since the last replan closed its slot.
     slot_revocations: u64,
+    /// Whether the previous closed slot was inside a storm (edge
+    /// detection for `control_storms_total`).
+    storm_active: bool,
 }
 
 impl ControlTelemetry {
@@ -201,6 +204,7 @@ impl ControlTelemetry {
                 STORM_THRESHOLD,
             ),
             slot_revocations: 0,
+            storm_active: false,
         }
     }
 
@@ -222,8 +226,22 @@ impl ControlTelemetry {
             .set(self.slo.burn_rate());
         o.gauge("control_window_revocation_rate")
             .set(self.storms.rate(t));
+        let storm = self.storms.is_storm(t);
         o.gauge("control_window_revocation_storm")
-            .set(if self.storms.is_storm(t) { 1.0 } else { 0.0 });
+            .set(if storm { 1.0 } else { 0.0 });
+        // Storm edges: count each distinct storm once and publish the
+        // detector's trigger latency (onset → threshold crossing) so
+        // operators can see how early the signal fired; re-arm on the
+        // falling edge so the next storm is dated afresh.
+        if storm && !self.storm_active {
+            o.counter("control_storms_total").inc();
+            if let Some(lat) = self.storms.trigger_latency() {
+                o.gauge("control_storm_trigger_latency_s").set(lat as f64);
+            }
+        } else if !storm && self.storm_active {
+            self.storms.reset_trigger();
+        }
+        self.storm_active = storm;
     }
 }
 
@@ -467,4 +485,52 @@ pub fn cold_access_mass(cold_frac: f64, f: &WorkloadForecast) -> f64 {
 /// (`F(H)` from the forecast, or the controller's configured target).
 pub fn hot_access_mass(hot_frac: f64, f: &WorkloadForecast, hot_set_mass: f64) -> f64 {
     hot_frac / f.hot_frac.max(1e-12) * hot_set_mass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Storm telemetry edges: each distinct storm bumps
+    /// `control_storms_total` exactly once, publishes the detector's
+    /// trigger latency, and the falling edge re-arms the latch so the
+    /// next storm is dated afresh.
+    #[test]
+    fn storm_edges_count_once_and_rearm() {
+        let o = Obs::new();
+        let slot = 3_600u64;
+        let mut tel = ControlTelemetry::new(0.9, slot);
+        let storms = o.counter("control_storms_total");
+
+        // Quiet slots: no storm, no count.
+        tel.close_slot(0, 1.0, 10.0, &o);
+        assert_eq!(storms.get(), 0);
+
+        // A correlated burst past STORM_THRESHOLD within one window
+        // (what `ControlLoop::ingest` feeds the telemetry per event).
+        let t1 = slot;
+        tel.slot_revocations += STORM_THRESHOLD;
+        tel.storms.record(t1, STORM_THRESHOLD);
+        tel.close_slot(t1, 1.0, 10.0, &o);
+        assert_eq!(storms.get(), 1, "rising edge counted");
+        assert_eq!(o.gauge("control_window_revocation_storm").get(), 1.0);
+        let lat = o.gauge("control_storm_trigger_latency_s").get();
+        assert!(lat >= 0.0, "latency published: {lat}");
+
+        // Still storming next slot: no double count.
+        tel.close_slot(t1 + 1, 1.0, 10.0, &o);
+        assert_eq!(storms.get(), 1, "level does not re-count");
+
+        // Long quiet gap: the window drains, the latch re-arms...
+        let t2 = t1 + 100 * slot;
+        tel.close_slot(t2, 1.0, 10.0, &o);
+        assert_eq!(o.gauge("control_window_revocation_storm").get(), 0.0);
+
+        // ...so a second storm counts again.
+        let t3 = t2 + slot;
+        tel.slot_revocations += STORM_THRESHOLD + 2;
+        tel.storms.record(t3, STORM_THRESHOLD + 2);
+        tel.close_slot(t3, 1.0, 10.0, &o);
+        assert_eq!(storms.get(), 2, "second storm counted once");
+    }
 }

@@ -19,17 +19,16 @@
 //! * [`geo_baseline`] — the active geo-replication simulation baseline
 //!   (Xu et al., the paper's reference \[50\]).
 //!
-//! The live warm-up pump that used to live here as `core::drill` moved
-//! to `spotcache_recovery::replay`, the Replay arm of the unified
-//! recovery layer; [`drill`] and [`replication`] are deprecated alias
-//! modules kept for one release.
+//! The live warm-up pump that used to live here as `core::drill` now
+//! lives in `spotcache_recovery::replay`, the Replay arm of the unified
+//! recovery layer (its deprecation-period alias shim has been removed);
+//! [`replication`] is a deprecated alias module kept for one release.
 
 pub mod approaches;
 pub mod backup;
 pub mod cluster;
 pub mod controller;
 pub mod controlplane;
-pub mod drill;
 pub mod geo_baseline;
 pub mod prototype;
 pub mod reactive;
@@ -47,10 +46,8 @@ pub use controlplane::{
 pub use geo_baseline::{simulate_geo_baseline, GeoBaselineConfig, GeoBaselineResult};
 pub use prototype::{run_prototype, MinutePrototype, PrototypeConfig, PrototypeResult};
 pub use reactive::{ReactiveConfig, ReactiveController};
-// Deprecated compat re-exports (one release): the pump now lives in
-// `spotcache_recovery::replay`, the geo baseline in `geo_baseline`.
-#[allow(deprecated)]
-pub use drill::{pump_hot_set, WarmupConfig, WarmupReport};
+// Deprecated compat re-export (one release): the geo baseline now
+// lives in `geo_baseline`.
 #[allow(deprecated)]
 pub use replication::{simulate_replication, ReplicationConfig, ReplicationResult};
 pub use simulation::{simulate, FlashCrowd, HourlySim, SimConfig, SimResult};

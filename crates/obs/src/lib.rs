@@ -16,8 +16,11 @@
 //!   (Perfetto-loadable); near-zero cost and provably allocation-free on
 //!   the cache read path when sampling is off.
 //! * [`timeseries`] — fixed-size sliding windows over counters/gauges
-//!   ([`SlidingWindow`]), ζ burn-rate accounting ([`SloWindow`]), and a
-//!   windowed revocation-storm detector ([`StormDetector`]).
+//!   ([`SlidingWindow`]), ζ burn-rate accounting ([`SloWindow`]), a
+//!   windowed revocation-storm detector with trigger-latency latching
+//!   ([`StormDetector`]), strictly-monotone decay curves
+//!   ([`DecaySeries`]), and SLO breach-interval tracking
+//!   ([`BreachTracker`]).
 //! * [`export`] — Prometheus text exposition and a single-document JSON
 //!   snapshot, plus a small JSON validator for smoke tests.
 //!
@@ -47,7 +50,9 @@ pub mod trace;
 pub use http::AdminServer;
 pub use journal::{Event, EventKind, Journal, DEFAULT_JOURNAL_CAPACITY};
 pub use registry::{Counter, Gauge, Histogram, Metric, Registry};
-pub use timeseries::{SlidingWindow, SloWindow, StormDetector, WindowStats};
+pub use timeseries::{
+    BreachTracker, DecaySeries, SlidingWindow, SloWindow, StormDetector, WindowStats,
+};
 pub use trace::{
     SpanGuard, SpanRecord, TraceConfig, TraceContext, Tracer, DEFAULT_TRACE_CAPACITY,
     TRACE_CONTEXT_LEN,

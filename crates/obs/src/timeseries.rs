@@ -17,7 +17,19 @@
 //!   burn-rate convention).
 //! * [`StormDetector`] — a windowed revocation counter with a threshold:
 //!   `count(window) ≥ threshold` flags a revocation storm, the early
-//!   signal fault-tolerance-free spot provisioning needs.
+//!   signal fault-tolerance-free spot provisioning needs. The first
+//!   threshold crossing is latched ([`StormDetector::triggered_at`])
+//!   together with the onset of the burst that caused it, so drills can
+//!   report *trigger latency* — how far into a correlated storm the
+//!   detector fired.
+//! * [`DecaySeries`] — an append-only `(t, value)` curve with strictly
+//!   monotone timestamps, the storage for the hit-rate/freshness decay
+//!   curves a churn drill emits (non-monotone pushes are dropped and
+//!   counted, never silently reordered).
+//! * [`BreachTracker`] — turns a threshold-crossing signal (e.g. the
+//!   [`SloWindow`] burn rate) into explicit breach intervals
+//!   `[start, end)`, the "when was the SLO on fire" answer an incident
+//!   review needs.
 //!
 //! Everything here is plain sequential state guarded by one mutex per
 //! structure: windows are fed from control-loop cadence code (per-slot,
@@ -229,7 +241,18 @@ impl SloWindow {
 pub struct StormDetector {
     window_secs: u64,
     threshold: u64,
-    batches: Mutex<std::collections::VecDeque<(u64, u64)>>,
+    inner: Mutex<StormInner>,
+}
+
+struct StormInner {
+    /// `(t, count)` revocation batches within the trailing window.
+    batches: std::collections::VecDeque<(u64, u64)>,
+    /// Timestamp of the oldest batch still in-window when the threshold
+    /// was first crossed: the onset of the burst that became a storm.
+    onset: Option<u64>,
+    /// Timestamp of the batch that crossed the threshold (latched until
+    /// [`StormDetector::reset_trigger`]).
+    triggered_at: Option<u64>,
 }
 
 impl StormDetector {
@@ -239,18 +262,32 @@ impl StormDetector {
         Self {
             window_secs: window_secs.max(1),
             threshold: threshold.max(1),
-            batches: Mutex::new(std::collections::VecDeque::new()),
+            inner: Mutex::new(StormInner {
+                batches: std::collections::VecDeque::new(),
+                onset: None,
+                triggered_at: None,
+            }),
         }
     }
 
-    /// Records `count` revocations at logical time `t`.
+    /// Records `count` revocations at logical time `t`. The first time
+    /// the trailing window reaches the threshold, the trigger is latched:
+    /// [`Self::triggered_at`] keeps `t` and the burst onset until
+    /// [`Self::reset_trigger`] re-arms the detector, so a slow poller
+    /// never misses (or re-dates) the crossing.
     pub fn record(&self, t: u64, count: u64) {
         if count == 0 {
             return;
         }
-        let mut b = self.batches.lock();
-        b.push_back((t, count));
-        Self::evict(&mut b, t, self.window_secs);
+        let mut s = self.inner.lock();
+        s.batches.push_back((t, count));
+        Self::evict(&mut s.batches, t, self.window_secs);
+        if s.triggered_at.is_none()
+            && s.batches.iter().map(|&(_, c)| c).sum::<u64>() >= self.threshold
+        {
+            s.onset = s.batches.front().map(|&(t0, _)| t0);
+            s.triggered_at = Some(t);
+        }
     }
 
     fn evict(b: &mut std::collections::VecDeque<(u64, u64)>, now: u64, window: u64) {
@@ -262,9 +299,9 @@ impl StormDetector {
 
     /// Revocations within the trailing window ending at `now`.
     pub fn windowed_count(&self, now: u64) -> u64 {
-        let mut b = self.batches.lock();
-        Self::evict(&mut b, now, self.window_secs);
-        b.iter().map(|&(_, c)| c).sum()
+        let mut s = self.inner.lock();
+        Self::evict(&mut s.batches, now, self.window_secs);
+        s.batches.iter().map(|&(_, c)| c).sum()
     }
 
     /// Revocations per second over the trailing window.
@@ -285,6 +322,209 @@ impl StormDetector {
     /// The configured window length, seconds.
     pub fn window_secs(&self) -> u64 {
         self.window_secs
+    }
+
+    /// When the trailing window first reached the threshold (the
+    /// timestamp of the batch that crossed it), or `None` while the
+    /// detector has not fired since construction / the last
+    /// [`Self::reset_trigger`].
+    pub fn triggered_at(&self) -> Option<u64> {
+        self.inner.lock().triggered_at
+    }
+
+    /// Trigger latency: seconds between the onset of the burst (oldest
+    /// in-window batch at crossing time) and the crossing itself. By
+    /// construction `0 ≤ latency ≤ window_secs`. `None` until triggered.
+    pub fn trigger_latency(&self) -> Option<u64> {
+        let s = self.inner.lock();
+        match (s.onset, s.triggered_at) {
+            (Some(onset), Some(t)) => Some(t.saturating_sub(onset)),
+            _ => None,
+        }
+    }
+
+    /// Re-arms the trigger latch (e.g. after a storm subsides) so the
+    /// next threshold crossing is dated afresh. Windowed counts are
+    /// unaffected.
+    pub fn reset_trigger(&self) {
+        let mut s = self.inner.lock();
+        s.onset = None;
+        s.triggered_at = None;
+    }
+}
+
+/// An append-only decay curve: `(t, value)` points with strictly
+/// monotone timestamps.
+///
+/// Churn drills sample hit-rate/freshness once per driver window and
+/// read the curve back to locate recovery points; both uses depend on
+/// time strictly increasing. Rather than trusting every feeder, the
+/// series enforces it: a push whose timestamp does not exceed the last
+/// retained point (or whose value is non-finite) is dropped and counted
+/// in [`Self::dropped`], never reordered or silently absorbed.
+pub struct DecaySeries {
+    inner: Mutex<DecayInner>,
+}
+
+struct DecayInner {
+    points: Vec<(u64, f64)>,
+    dropped: u64,
+}
+
+impl Default for DecaySeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecaySeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(DecayInner {
+                points: Vec::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends `(t, v)`; returns whether the point was retained. Points
+    /// with `t` ≤ the last retained timestamp, or a non-finite `v`, are
+    /// dropped (and counted).
+    pub fn push(&self, t: u64, v: f64) -> bool {
+        let mut s = self.inner.lock();
+        let monotone = s.points.last().is_none_or(|&(last, _)| t > last);
+        if !monotone || !v.is_finite() {
+            s.dropped += 1;
+            return false;
+        }
+        s.points.push((t, v));
+        true
+    }
+
+    /// Retained point count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().points.len()
+    }
+
+    /// Whether the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent retained point.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        self.inner.lock().points.last().copied()
+    }
+
+    /// Pushes rejected for violating monotonicity or finiteness.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// All retained points, oldest first.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        self.inner.lock().points.clone()
+    }
+
+    /// First timestamp `≥ from_t` whose value is `≥ threshold` — the
+    /// recovery-point query: "when did the curve climb back above X
+    /// after the kill at `from_t`".
+    pub fn first_at_or_above(&self, from_t: u64, threshold: f64) -> Option<u64> {
+        self.inner
+            .lock()
+            .points
+            .iter()
+            .find(|&&(t, v)| t >= from_t && v >= threshold)
+            .map(|&(t, _)| t)
+    }
+
+    /// Smallest value at or after `from_t` — the depth of the decay.
+    pub fn min_from(&self, from_t: u64) -> Option<f64> {
+        self.inner
+            .lock()
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from_t)
+            .map(|&(_, v)| v)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite values"))
+    }
+
+    /// The series as a JSON array of `[t, value]` pairs, oldest first.
+    /// Always passes [`crate::export::validate_json`].
+    pub fn json(&self) -> String {
+        let s = self.inner.lock();
+        let mut out = String::from("[");
+        for (i, &(t, v)) in s.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{t},{}]", fmt_json_f64(v));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Turns a threshold-crossing signal into explicit breach intervals.
+///
+/// Feed it one `(t, value)` observation per slot (e.g. the
+/// [`SloWindow::burn_rate`] each driver window); it records the
+/// half-open intervals `[start, end)` during which `value > threshold`.
+/// An interval still open at snapshot time has `end == None`.
+pub struct BreachTracker {
+    threshold: f64,
+    inner: Mutex<Vec<(u64, Option<u64>)>>,
+}
+
+impl BreachTracker {
+    /// A tracker flagging observations strictly above `threshold`
+    /// (non-finite observations other than `+∞` never breach — NaN
+    /// comparisons are false — matching the gauge-export policy that
+    /// NaN must not poison derived telemetry).
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            threshold,
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Records the signal's value at time `t`: a rising edge opens an
+    /// interval at `t`, a falling edge closes the open interval at `t`.
+    pub fn observe(&self, t: u64, value: f64) {
+        let breaching = value > self.threshold;
+        let mut iv = self.inner.lock();
+        match iv.last_mut() {
+            Some((_, end @ None)) if !breaching => *end = Some(t),
+            Some((_, None)) => {}
+            _ if breaching => iv.push((t, None)),
+            _ => {}
+        }
+    }
+
+    /// All breach intervals, oldest first; an open interval ends `None`.
+    pub fn intervals(&self) -> Vec<(u64, Option<u64>)> {
+        self.inner.lock().clone()
+    }
+
+    /// Start of the first breach, if any.
+    pub fn first_breach(&self) -> Option<u64> {
+        self.inner.lock().first().map(|&(s, _)| s)
+    }
+
+    /// Whether the latest observation left an interval open.
+    pub fn is_breaching(&self) -> bool {
+        self.inner.lock().last().is_some_and(|&(_, e)| e.is_none())
+    }
+
+    /// Number of breach intervals (open or closed).
+    pub fn breach_count(&self) -> usize {
+        self.inner.lock().len()
     }
 }
 
@@ -455,6 +695,77 @@ mod tests {
         let d = StormDetector::new(60, 1);
         d.record(10, 0);
         assert_eq!(d.windowed_count(10), 0);
+        assert_eq!(d.triggered_at(), None);
+    }
+
+    #[test]
+    fn storm_trigger_latches_crossing_and_onset() {
+        let d = StormDetector::new(120, 5);
+        d.record(10, 2);
+        assert_eq!(d.triggered_at(), None);
+        d.record(70, 3);
+        // Crossed at t=70; the burst began at t=10 → latency 60 ≤ window.
+        assert_eq!(d.triggered_at(), Some(70));
+        assert_eq!(d.trigger_latency(), Some(60));
+        // The latch survives later activity and window queries.
+        d.record(300, 9);
+        assert_eq!(d.windowed_count(500), 0);
+        assert_eq!(d.triggered_at(), Some(70));
+        // Re-arming dates the next crossing afresh.
+        d.reset_trigger();
+        assert_eq!(d.triggered_at(), None);
+        d.record(600, 5);
+        assert_eq!(d.triggered_at(), Some(600));
+        assert_eq!(d.trigger_latency(), Some(0), "single-batch burst");
+    }
+
+    #[test]
+    fn decay_series_enforces_monotone_timestamps() {
+        let s = DecaySeries::new();
+        assert!(s.push(1, 1.0));
+        assert!(s.push(5, 0.5));
+        assert!(!s.push(5, 0.4), "equal timestamp dropped");
+        assert!(!s.push(3, 0.9), "regressing timestamp dropped");
+        assert!(!s.push(8, f64::NAN), "non-finite dropped");
+        assert!(s.push(8, 0.8));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.last(), Some((8, 0.8)));
+        assert_eq!(s.points(), vec![(1, 1.0), (5, 0.5), (8, 0.8)]);
+        assert_eq!(s.json(), "[[1,1],[5,0.5],[8,0.8]]");
+        validate_json(&s.json()).unwrap();
+        assert_eq!(DecaySeries::new().json(), "[]");
+    }
+
+    #[test]
+    fn decay_series_recovery_queries() {
+        let s = DecaySeries::new();
+        for (t, v) in [(0, 0.99), (1, 0.2), (2, 0.4), (3, 0.95), (4, 0.97)] {
+            assert!(s.push(t, v));
+        }
+        // Kill at t=1: deepest decay 0.2, recovery (≥0.9) at t=3.
+        assert_eq!(s.min_from(1), Some(0.2));
+        assert_eq!(s.first_at_or_above(1, 0.9), Some(3));
+        assert_eq!(s.first_at_or_above(1, 0.999), None);
+    }
+
+    #[test]
+    fn breach_tracker_records_intervals() {
+        let b = BreachTracker::new(1.0);
+        b.observe(0, 0.1);
+        b.observe(1, 2.0); // rising edge
+        b.observe(2, 3.0);
+        b.observe(3, 0.5); // falling edge
+        b.observe(4, 1.5); // second breach, still open
+        assert_eq!(b.intervals(), vec![(1, Some(3)), (4, None)]);
+        assert_eq!(b.first_breach(), Some(1));
+        assert!(b.is_breaching());
+        assert_eq!(b.breach_count(), 2);
+        // Exactly-at-threshold is not a breach; NaN never breaches.
+        let c = BreachTracker::new(1.0);
+        c.observe(0, 1.0);
+        c.observe(1, f64::NAN);
+        assert!(c.intervals().is_empty());
     }
 
     #[test]

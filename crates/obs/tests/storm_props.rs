@@ -1,0 +1,119 @@
+//! Property coverage for the storm-detection primitives.
+//!
+//! The storm drill's recovery-ordering invariants lean on three facts
+//! about the telemetry layer, so each is proved over *arbitrary* inputs
+//! rather than the handful of bursts the unit tests pick:
+//!
+//! 1. any revocation burst whose in-window total reaches the threshold
+//!    triggers the detector, and it triggers *within* the configured
+//!    window of the burst's onset (trigger latency ≤ window);
+//! 2. activity that never sums to the threshold never triggers — no
+//!    false storms from scattered single revocations;
+//! 3. a [`DecaySeries`] retains strictly monotone timestamps no matter
+//!    how adversarial the push sequence, and accounts for every push
+//!    (retained + dropped = total).
+
+use proptest::prelude::*;
+use spotcache_obs::{DecaySeries, StormDetector};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A burst at or above the threshold, delivered within one window,
+    /// always fires the trigger — and dates it within the window of the
+    /// burst's onset.
+    #[test]
+    fn burst_above_threshold_triggers_within_window(
+        window in 1u64..500,
+        threshold in 1u64..64,
+        start in 0u64..10_000,
+        // Batch offsets are scaled into the window below; counts are
+        // sized so the burst total always reaches the threshold.
+        batches in proptest::collection::vec((0u64..1000, 1u64..16), 1..32),
+        pre_noise in proptest::collection::vec((0u64..5000, 1u64..4), 0..8),
+    ) {
+        let d = StormDetector::new(window, threshold);
+        // Sub-threshold noise strictly before the burst must not matter
+        // (it either ages out or merely hastens the crossing).
+        for &(dt, c) in &pre_noise {
+            let t = start.saturating_sub(window + 1 + dt % window);
+            d.record(t, c.min(threshold.saturating_sub(1).max(1)));
+        }
+        let mut batches = batches.clone();
+        // Deliver the whole burst inside [start, start + window].
+        for (dt, _) in batches.iter_mut() {
+            *dt = start + *dt % (window + 1);
+        }
+        batches.sort_unstable();
+        // Guarantee the burst reaches the threshold by topping up the
+        // final batch with whatever the draw fell short of.
+        let total: u64 = batches.iter().map(|&(_, c)| c).sum();
+        let deficit = threshold.saturating_sub(total);
+        let last = batches.len() - 1;
+        batches[last].1 += deficit;
+        for &(t, c) in &batches {
+            d.record(t, c);
+        }
+        let fired = d.triggered_at().expect("burst ≥ threshold must trigger");
+        prop_assert!(fired <= start + window, "fired at {fired}, window ends {}", start + window);
+        let latency = d.trigger_latency().expect("latency set with trigger");
+        prop_assert!(latency <= window, "latency {latency} > window {window}");
+    }
+
+    /// Revocation activity that never sums to the threshold — even if it
+    /// all landed in one window — never flags a storm.
+    #[test]
+    fn below_threshold_never_triggers(
+        window in 1u64..500,
+        threshold in 2u64..64,
+        events in proptest::collection::vec((0u64..10_000, 1u64..16), 0..32),
+    ) {
+        // Trim counts so the all-time total stays strictly below the
+        // threshold: even if everything landed in one window, the
+        // detector has no legitimate reason to fire.
+        let mut budget = threshold - 1;
+        let mut events: Vec<(u64, u64)> = events
+            .iter()
+            .filter_map(|&(t, c)| {
+                let c = c.min(budget);
+                budget -= c;
+                (c > 0).then_some((t, c))
+            })
+            .collect();
+        events.sort_unstable();
+        let d = StormDetector::new(window, threshold);
+        for &(t, c) in &events {
+            d.record(t, c);
+            prop_assert!(!d.is_storm(t), "storm below threshold at t={t}");
+        }
+        prop_assert_eq!(d.triggered_at(), None);
+        prop_assert_eq!(d.trigger_latency(), None);
+    }
+
+    /// Decay-series timestamps are strictly monotone for any push
+    /// sequence, and every push is accounted for as retained or dropped.
+    #[test]
+    fn decay_series_timestamps_strictly_monotone(
+        pushes in proptest::collection::vec((0u64..1000, -1e9f64..1e9), 0..200),
+    ) {
+        let s = DecaySeries::new();
+        for &(t, v) in &pushes {
+            s.push(t, v);
+        }
+        let points = s.points();
+        for pair in points.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0, "non-monotone: {pair:?}");
+        }
+        prop_assert_eq!(points.len() as u64 + s.dropped(), pushes.len() as u64);
+        // The retained subsequence is exactly the greedy monotone scan.
+        let mut expect = Vec::new();
+        let mut last: Option<u64> = None;
+        for &(t, v) in &pushes {
+            if last.is_none_or(|l| t > l) && v.is_finite() {
+                expect.push((t, v));
+                last = Some(t);
+            }
+        }
+        prop_assert_eq!(points, expect);
+    }
+}

@@ -16,7 +16,8 @@
 //!   which stays physically in the cache crate because the tap is wired
 //!   into the store's write path.
 //! * [`replay`] — the token-bucket warm-up pump (moved here from
-//!   `core::drill`; a deprecated shim remains there for one release).
+//!   `core::drill`, whose deprecation-period shim has since been
+//!   removed; this is now its only home).
 //! * [`checkpoint`] — the new `spotcache-ckpt-v1` streaming codec:
 //!   slab-class-aware, CRC-framed full-state snapshots with TTLs
 //!   re-based on restore.

@@ -109,6 +109,38 @@ impl HashRing {
         out
     }
 
+    /// The first `n` *distinct* nodes clockwise from the raw ring point
+    /// `from_point` — a contiguous arc of the ring.
+    ///
+    /// Where [`Self::lookup_n`] starts from a *key*'s hash (the replica
+    /// set for that key), this starts from an arbitrary position in
+    /// point space, which is how a correlated failure presents itself: a
+    /// spot-market price spike clears instances whose placement is
+    /// adjacent, so a storm drill draws its kill-set as an arc rather
+    /// than as independent uniform picks. Sampling `from_point`
+    /// uniformly from `u64` gives every arc equal probability while
+    /// keeping the set contiguous.
+    pub fn arc_nodes(&self, from_point: u64, n: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(n);
+        if self.points.is_empty() || n == 0 {
+            return out;
+        }
+        let start = match self.points.binary_search_by_key(&from_point, |p| p.0) {
+            Ok(i) => i,
+            Err(i) => i % self.points.len(),
+        };
+        for off in 0..self.points.len() {
+            let node = self.points[(start + off) % self.points.len()].1;
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// The `(node, weight)` pairs this ring was built from.
     pub fn weights(&self) -> &[(NodeId, f64)] {
         &self.nodes
@@ -209,6 +241,25 @@ mod tests {
         }
         // Asking for more nodes than exist returns all of them.
         assert_eq!(ring.lookup_n(b"k", 10).len(), 3);
+    }
+
+    #[test]
+    fn arc_nodes_are_contiguous_and_distinct() {
+        let ring = HashRing::build(&[(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]);
+        for p in [0u64, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let arc = ring.arc_nodes(p, 3);
+            assert_eq!(arc.len(), 3);
+            let mut sorted = arc.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "distinct nodes: {arc:?}");
+            // A longer arc from the same point extends the shorter one.
+            let longer = ring.arc_nodes(p, 4);
+            assert_eq!(&longer[..3], &arc[..], "arcs nest");
+        }
+        // Asking for more nodes than exist returns all of them.
+        assert_eq!(ring.arc_nodes(7, 10).len(), 4);
+        assert!(HashRing::build(&[]).arc_nodes(7, 2).is_empty());
     }
 
     proptest! {
